@@ -1,0 +1,128 @@
+// Command experiments regenerates the paper's evaluation artifacts
+// (§5, Figures 2/5/6/7). Run everything or a single experiment:
+//
+//	experiments -run all
+//	experiments -run fig2|fig5|fig6|mixbench|jacobi|sgemm|compare
+//	experiments -run all -fast      (reduced problem scales)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpuscout/internal/experiments"
+	"gpuscout/internal/sim"
+)
+
+func main() {
+	var (
+		which = flag.String("run", "all", "experiment: all, fig2, fig5, fig6, mixbench, jacobi, sgemm, compare")
+		fast  = flag.Bool("fast", false, "reduced problem scales (quicker, same shapes)")
+	)
+	flag.Parse()
+
+	cfg := sim.Config{SampleSMs: 1}
+	mixIters, jacobiSize, sgemmN := 96, 1024, 256
+	fig6Sizes := []int{64, 128, 256, 512}
+	if *fast {
+		mixIters, jacobiSize, sgemmN = 24, 512, 128
+		fig6Sizes = []int{64, 128, 256}
+	}
+
+	run := func(name string, f func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		fmt.Printf("\n######## %s ########\n\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig2", func() error {
+		text, err := experiments.Fig2Report()
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	})
+	run("fig5", func() error {
+		text, err := experiments.Fig5Report()
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	})
+	run("mixbench", func() error {
+		t, err := experiments.Mixbench51(mixIters, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Render())
+		return nil
+	})
+	run("jacobi", func() error {
+		t, err := experiments.Jacobi52(jacobiSize, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Render())
+		return nil
+	})
+	run("sgemm", func() error {
+		t, err := experiments.SGEMM53(sgemmN, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Render())
+		return nil
+	})
+	run("fig6", func() error {
+		s, err := experiments.Fig6Overhead(fig6Sizes, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(s.Render())
+		return nil
+	})
+	run("compare", func() error {
+		text, err := experiments.CompareDemo()
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	})
+	run("ablations", func() error {
+		for _, f := range []func() (*experiments.Table, error){
+			func() (*experiments.Table, error) { return experiments.AblateMSHRs(512, nil, cfg) },
+			func() (*experiments.Table, error) { return experiments.AblateSampling("jacobi_naive", 512, nil) },
+			func() (*experiments.Table, error) { return experiments.SGEMMScaleSweep(nil, cfg) },
+			func() (*experiments.Table, error) { return experiments.AblateLGQueue(nil, cfg) },
+		} {
+			t, err := f()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Render())
+		}
+		return nil
+	})
+
+	valid := []string{"all", "fig2", "fig5", "fig6", "mixbench", "jacobi", "sgemm", "compare", "ablations"}
+	ok := false
+	for _, v := range valid {
+		if *which == v {
+			ok = true
+		}
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown -run %q (valid: %s)\n", *which, strings.Join(valid, ", "))
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,146 @@
+// Command gpuscout is the analysis tool CLI, mirroring the workflow of
+// the paper's tool (§3.1): point it at a kernel — a built-in case-study
+// workload, a cubin, or disassembled SASS text — and it prints the
+// three-pillar report (static SASS analysis, warp stalls, metrics).
+//
+//	gpuscout -workload sgemm_naive -scale 256        full analysis
+//	gpuscout -workload sgemm_naive -dry-run          static analysis only
+//	gpuscout -cubin prog.cubin -kernel _Z5sgemm...   static analysis of a cubin
+//	gpuscout -sass kernel.sass                       static analysis of SASS text
+//	gpuscout -list                                   list built-in workloads
+//	gpuscout -compare other_workload                 metric diff vs -workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuscout"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "built-in workload to analyze (see -list)")
+		scale    = flag.Int("scale", 0, "workload scale (0 = default)")
+		cubinF   = flag.String("cubin", "", "cubin file to analyze (static analysis)")
+		kernelN  = flag.String("kernel", "", "kernel name within the cubin (default: first)")
+		sassF    = flag.String("sass", "", "SASS text file to analyze (static analysis)")
+		dryRun   = flag.Bool("dry-run", false, "static SASS analysis only, no GPU involvement")
+		archName = flag.String("arch", "sm_70", "GPU architecture (sm_70/V100, sm_60/P100)")
+		sample   = flag.Int("sample-sms", 2, "SMs to simulate (sampling)")
+		period   = flag.Float64("sampling-period", 0, "CUPTI sampling period in cycles (0 = default)")
+		list     = flag.Bool("list", false, "list built-in workloads")
+		compare  = flag.String("compare", "", "second workload: print old-vs-new metric comparison")
+		srcView  = flag.Bool("source-view", false, "also print the correlated source/SASS view")
+		jsonOut  = flag.String("json", "", "write the report as JSON to this file")
+		region   = flag.String("region", "", "profile a source-line region, e.g. -region 5:10")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range gpuscout.WorkloadNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	arch, err := gpuscout.ArchByName(*archName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := gpuscout.Options{
+		DryRun:         *dryRun,
+		SamplingPeriod: *period,
+		Sim:            gpuscout.SimConfig{SampleSMs: *sample},
+	}
+
+	switch {
+	case *workload != "":
+		rep, err := gpuscout.AnalyzeWorkload(*workload, *scale, arch, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep.Render())
+		if *srcView {
+			fmt.Println(rep.SourceView())
+		}
+		if *jsonOut != "" {
+			if err := gpuscout.WriteReportJSON(*jsonOut, rep); err != nil {
+				fatal(err)
+			}
+		}
+		if *region != "" {
+			var from, to int
+			if _, err := fmt.Sscanf(*region, "%d:%d", &from, &to); err != nil {
+				fatal(fmt.Errorf("bad -region %q (want from:to): %w", *region, err))
+			}
+			prof, err := rep.ProfileRegion(from, to)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(prof.Render())
+		}
+		if *compare != "" {
+			rep2, err := gpuscout.AnalyzeWorkload(*compare, *scale, arch, opts)
+			if err != nil {
+				fatal(err)
+			}
+			cmp, err := gpuscout.Compare(rep, rep2)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(cmp.Render())
+		}
+
+	case *cubinF != "":
+		bin, err := gpuscout.LoadCubin(*cubinF)
+		if err != nil {
+			fatal(err)
+		}
+		if len(bin.Kernels) == 0 {
+			fatal(fmt.Errorf("cubin %s holds no kernels", *cubinF))
+		}
+		// Without -kernel, every kernel in the module is analyzed (the
+		// paper's Configuration stage disassembles the whole cubin).
+		kernels := bin.Kernels
+		if *kernelN != "" {
+			k, err := bin.Kernel(*kernelN)
+			if err != nil {
+				fatal(err)
+			}
+			kernels = []*gpuscout.Kernel{k}
+		}
+		for _, k := range kernels {
+			rep, err := gpuscout.DryRun(arch, k)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(rep.Render())
+		}
+
+	case *sassF != "":
+		text, err := os.ReadFile(*sassF)
+		if err != nil {
+			fatal(err)
+		}
+		k, err := gpuscout.ParseSASS(string(text))
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := gpuscout.DryRun(arch, k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep.Render())
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpuscout:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module gpuscout
+
+go 1.22

@@ -1,0 +1,233 @@
+// Package gpuscout is a Go reproduction of GPUscout — "GPUscout: Locating
+// Data Movement-related Bottlenecks on GPUs" (Sen, Vanecek, Schulz,
+// SC-W 2023) — together with every substrate the paper depends on:
+//
+//   - a Volta-class SASS instruction set with an nvdisasm-style parser and
+//     printer, control-flow/liveness/def-use analyses (internal/sass);
+//   - a kernel assembler and register allocator with real spilling to
+//     local memory (internal/kasm, internal/codegen);
+//   - a cubin container format (internal/cubin);
+//   - an execution-driven V100 simulator producing warp-stall and
+//     hardware-counter data (internal/sim, internal/memsys);
+//   - stand-ins for the CUPTI PC Sampling API and the Nsight Compute
+//     metric collector (internal/cupti, internal/ncu);
+//   - the GPUscout analysis core: seven bottleneck detectors, stall
+//     correlation, metric analysis, severity assessment and the text
+//     report (internal/scout);
+//   - the paper's case-study workloads (internal/workloads) and
+//     experiment drivers regenerating every table and figure
+//     (internal/experiments).
+//
+// This package is the public facade: everything an application needs to
+// build or load kernels, run them on the simulated GPU, and analyze them
+// with GPUscout.
+package gpuscout
+
+import (
+	"fmt"
+	"os"
+
+	"gpuscout/internal/codegen"
+	"gpuscout/internal/cubin"
+	"gpuscout/internal/gpu"
+	"gpuscout/internal/kasm"
+	"gpuscout/internal/sass"
+	"gpuscout/internal/scout"
+	"gpuscout/internal/sim"
+	"gpuscout/internal/workloads"
+)
+
+// --- Architectures ---
+
+// Arch describes a modeled GPU (see gpu.Arch for the parameters).
+type Arch = gpu.Arch
+
+// V100 returns the Tesla V100 description the paper's evaluation used.
+func V100() Arch { return gpu.V100() }
+
+// P100 returns a Pascal GPU: supported by the simulator and the static
+// analysis, rejected by the (modeled) ncu — the --dry-run scenario.
+func P100() Arch { return gpu.P100() }
+
+// ArchByName resolves "sm_70", "V100", "sm_60", "P100", ...
+func ArchByName(name string) (Arch, error) { return gpu.ByName(name) }
+
+// --- Kernels and SASS ---
+
+// Kernel is a compiled GPU kernel (SASS instructions, resources, line
+// table, optional embedded source).
+type Kernel = sass.Kernel
+
+// ParseSASS parses nvdisasm-style SASS text (as produced by PrintSASS or
+// Binary.Disassemble) into a Kernel.
+func ParseSASS(text string) (*Kernel, error) { return sass.Parse(text) }
+
+// PrintSASS renders a kernel as nvdisasm-style text.
+func PrintSASS(k *Kernel) string { return sass.Print(k) }
+
+// --- Kernel construction (the nvcc stand-in) ---
+
+// KernelBuilder constructs kernels from virtual-register instructions;
+// see the examples/quickstart program for a walkthrough.
+type KernelBuilder = kasm.Builder
+
+// NewKernelBuilder starts a kernel named name for the given architecture
+// tag ("sm_70"), attributing code to sourceFile.
+func NewKernelBuilder(name, archTag, sourceFile string) *KernelBuilder {
+	return kasm.NewBuilder(name, archTag, sourceFile)
+}
+
+// CompileOptions configure compilation; MaxRegs mirrors -maxrregcount and
+// forces register spilling when small.
+type CompileOptions = codegen.Options
+
+// CompileKernel lowers a built program to executable SASS: register
+// allocation (with spilling to local memory), scoreboard assignment and
+// branch resolution.
+func CompileKernel(p *kasm.Program, opts CompileOptions) (*Kernel, error) {
+	return codegen.Compile(p, opts)
+}
+
+// --- Cubins ---
+
+// Binary is a CUDA-binary container holding compiled kernels.
+type Binary = cubin.Binary
+
+// NewBinary creates an empty container for one architecture.
+func NewBinary(arch string) *Binary { return cubin.New(arch) }
+
+// LoadCubin reads and decodes a cubin file.
+func LoadCubin(path string) (*Binary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("gpuscout: %w", err)
+	}
+	return cubin.Decode(data)
+}
+
+// SaveCubin encodes and writes a cubin file.
+func SaveCubin(path string, b *Binary) error {
+	data, err := cubin.Encode(b)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// --- Simulated device and launches ---
+
+// Device is a simulated GPU with device memory and texture bindings.
+type Device = sim.Device
+
+// NewDevice creates a device of the given architecture.
+func NewDevice(arch Arch) *Device { return sim.NewDevice(arch) }
+
+// Buffer is a device memory allocation.
+type Buffer = sim.Buffer
+
+// Dim3 is a CUDA grid/block dimension triple.
+type Dim3 = sim.Dim3
+
+// D1 makes a 1-D Dim3; D2 a 2-D one.
+func D1(x int) Dim3    { return sim.D1(x) }
+func D2(x, y int) Dim3 { return sim.D2(x, y) }
+
+// LaunchSpec describes one kernel launch (kernel, grid, block, params).
+type LaunchSpec = sim.LaunchSpec
+
+// SimConfig controls the simulation (SM sampling, cycle cap).
+type SimConfig = sim.Config
+
+// SimResult is the outcome of a simulated launch: cycles, occupancy,
+// stall integrals, and hardware counters.
+type SimResult = sim.Result
+
+// Launch runs a kernel on the device.
+func Launch(dev *Device, spec LaunchSpec, cfg SimConfig) (*SimResult, error) {
+	return sim.Launch(dev, spec, cfg)
+}
+
+// --- GPUscout analysis ---
+
+// Options configure an analysis run (DryRun, sampling period, detectors).
+type Options = scout.Options
+
+// Report is a full GPUscout report; call Render for the text form.
+type Report = scout.Report
+
+// Finding is one detected bottleneck with sites, stalls and metrics.
+type Finding = scout.Finding
+
+// RunFunc launches the analyzed kernel once for the dynamic pillars.
+type RunFunc = scout.RunFunc
+
+// Analyze performs the full GPUscout workflow on a kernel: static SASS
+// analysis, warp-stall sampling, metric collection, and evaluation.
+func Analyze(arch Arch, k *Kernel, run RunFunc, opts Options) (*Report, error) {
+	return scout.Analyze(arch, k, run, opts)
+}
+
+// DryRun performs only the static SASS analysis (no GPU involvement) —
+// the tool's --dry-run mode, which also serves architectures ncu does not
+// support.
+func DryRun(arch Arch, k *Kernel) (*Report, error) {
+	return scout.Analyze(arch, k, nil, Options{DryRun: true})
+}
+
+// WriteReportJSON writes a report's machine-readable form to a file —
+// the data the paper's planned visual frontend (Fig. 7) would consume.
+func WriteReportJSON(path string, rep *Report) error {
+	data, err := rep.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// A100 returns an Ampere GPU description (extensibility demo: the
+// analyses run unchanged on newer architectures).
+func A100() Arch { return gpu.A100() }
+
+// Comparison is the Fig. 7 "Metrics Comparison" view.
+type Comparison = scout.Comparison
+
+// Compare diffs the metrics of two reports (before/after a fix).
+func Compare(oldRep, newRep *Report) (*Comparison, error) {
+	return scout.Compare(oldRep, newRep)
+}
+
+// --- Case-study workloads ---
+
+// Workload is a prepared kernel + launch (the paper's case studies and
+// auxiliary kernels).
+type Workload = workloads.Workload
+
+// WorkloadNames lists the available workloads.
+func WorkloadNames() []string { return workloads.Names() }
+
+// BuildWorkload constructs a registered workload at the given scale
+// (0 = the workload's default).
+func BuildWorkload(name string, scale int) (*Workload, error) {
+	return workloads.Build(name, scale)
+}
+
+// RunWorkload executes a workload on a fresh device of the given
+// architecture, verifies its output, and returns the result.
+func RunWorkload(w *Workload, arch Arch, cfg SimConfig) (*SimResult, error) {
+	dev := sim.NewDevice(arch)
+	return workloads.Execute(w, dev, cfg)
+}
+
+// AnalyzeWorkload is the one-call path: build the named workload and run
+// the full GPUscout pipeline on it.
+func AnalyzeWorkload(name string, scale int, arch Arch, opts Options) (*Report, error) {
+	w, err := workloads.Build(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	run := func(cfg sim.Config) (*sim.Result, error) {
+		dev := sim.NewDevice(arch)
+		return workloads.Execute(w, dev, cfg)
+	}
+	return scout.Analyze(arch, w.Kernel, run, opts)
+}

@@ -1,0 +1,210 @@
+// Package cubin implements the CUDA-binary container used by the
+// GPUscout Configuration stage. A Binary bundles one or more compiled
+// kernels — their encoded SASS, resource usage, and (when compiled with
+// the -g --generate-line-info analogue) the source line table and embedded
+// source text.
+//
+// The on-disk format is a little-endian sectioned binary with a magic
+// header; Disassemble recovers the sass.Kernel from a contained program,
+// playing the role nvdisasm/cuobjdump play for real cubins (§2.1).
+package cubin
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"gpuscout/internal/sass"
+)
+
+// Magic identifies a serialized Binary.
+var Magic = [4]byte{'C', 'U', 'B', 'N'}
+
+// Version is the current format version.
+const Version uint32 = 2
+
+// Binary is a compiled CUDA module: a set of kernels for one architecture.
+type Binary struct {
+	Arch    string // e.g. "sm_70"
+	Kernels []*sass.Kernel
+}
+
+// New creates a Binary for the given architecture.
+func New(arch string) *Binary { return &Binary{Arch: arch} }
+
+// Add appends a kernel, validating it first.
+func (b *Binary) Add(k *sass.Kernel) error {
+	if err := k.Validate(); err != nil {
+		return fmt.Errorf("cubin: %w", err)
+	}
+	if k.Arch != b.Arch {
+		return fmt.Errorf("cubin: kernel %s is %s, binary is %s", k.Name, k.Arch, b.Arch)
+	}
+	for _, have := range b.Kernels {
+		if have.Name == k.Name {
+			return fmt.Errorf("cubin: duplicate kernel %s", k.Name)
+		}
+	}
+	b.Kernels = append(b.Kernels, k)
+	return nil
+}
+
+// Kernel returns the kernel with the given (mangled) name.
+func (b *Binary) Kernel(name string) (*sass.Kernel, error) {
+	for _, k := range b.Kernels {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("cubin: no kernel %q (have %d kernels)", name, len(b.Kernels))
+}
+
+// Disassemble renders a kernel's SASS in nvdisasm-like text form.
+func (b *Binary) Disassemble(name string) (string, error) {
+	k, err := b.Kernel(name)
+	if err != nil {
+		return "", err
+	}
+	return sass.Print(k), nil
+}
+
+// Encode serializes the Binary.
+func Encode(b *Binary) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(Magic[:])
+	writeU32(&buf, Version)
+	writeString(&buf, b.Arch)
+	writeU32(&buf, uint32(len(b.Kernels)))
+	for _, k := range b.Kernels {
+		if err := k.Validate(); err != nil {
+			return nil, fmt.Errorf("cubin: encode: %w", err)
+		}
+		writeString(&buf, k.Name)
+		writeU32(&buf, uint32(k.NumRegs))
+		writeU32(&buf, uint32(k.SharedBytes))
+		writeU32(&buf, uint32(k.LocalBytes))
+		writeU32(&buf, uint32(k.ConstBytes))
+		writeString(&buf, k.SourceFile)
+		writeU32(&buf, uint32(len(k.Source)))
+		for _, line := range k.Source {
+			writeString(&buf, line)
+		}
+		// The SASS section stores the canonical text encoding; parsing it
+		// back is the "disassembly" step.
+		writeString(&buf, sass.Print(k))
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a Binary and validates every kernel.
+func Decode(data []byte) (*Binary, error) {
+	r := &reader{data: data}
+	var magic [4]byte
+	r.bytes(magic[:])
+	if magic != Magic {
+		return nil, fmt.Errorf("cubin: bad magic %q", magic[:])
+	}
+	if v := r.u32(); v != Version {
+		return nil, fmt.Errorf("cubin: unsupported version %d (want %d)", v, Version)
+	}
+	b := &Binary{Arch: r.str()}
+	n := int(r.u32())
+	if r.err != nil {
+		return nil, fmt.Errorf("cubin: truncated header: %w", r.err)
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("cubin: implausible kernel count %d", n)
+	}
+	for i := 0; i < n; i++ {
+		name := r.str()
+		regs := int(r.u32())
+		shared := int(r.u32())
+		local := int(r.u32())
+		cbytes := int(r.u32())
+		srcFile := r.str()
+		nsrc := int(r.u32())
+		if r.err != nil {
+			return nil, fmt.Errorf("cubin: truncated kernel %d: %w", i, r.err)
+		}
+		if nsrc > 1<<20 {
+			return nil, fmt.Errorf("cubin: implausible source line count %d", nsrc)
+		}
+		src := make([]string, 0, nsrc)
+		for j := 0; j < nsrc; j++ {
+			src = append(src, r.str())
+		}
+		text := r.str()
+		if r.err != nil {
+			return nil, fmt.Errorf("cubin: truncated kernel %q: %w", name, r.err)
+		}
+		k, err := sass.Parse(text)
+		if err != nil {
+			return nil, fmt.Errorf("cubin: kernel %q SASS section: %w", name, err)
+		}
+		// Header fields are authoritative over the text's header line.
+		k.Name, k.Arch = name, b.Arch
+		k.NumRegs, k.SharedBytes, k.LocalBytes, k.ConstBytes = regs, shared, local, cbytes
+		k.SourceFile, k.Source = srcFile, src
+		if err := k.Validate(); err != nil {
+			return nil, fmt.Errorf("cubin: decoded kernel invalid: %w", err)
+		}
+		b.Kernels = append(b.Kernels, k)
+	}
+	if len(r.data) != r.off {
+		return nil, fmt.Errorf("cubin: %d trailing bytes", len(r.data)-r.off)
+	}
+	return b, nil
+}
+
+func writeU32(w *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeString(w *bytes.Buffer, s string) {
+	writeU32(w, uint32(len(s)))
+	w.WriteString(s)
+}
+
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) bytes(dst []byte) {
+	if r.err != nil {
+		return
+	}
+	if r.off+len(dst) > len(r.data) {
+		r.err = io.ErrUnexpectedEOF
+		return
+	}
+	copy(dst, r.data[r.off:])
+	r.off += len(dst)
+}
+
+func (r *reader) u32() uint32 {
+	var b [4]byte
+	r.bytes(b[:])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err != nil {
+		return ""
+	}
+	if r.off+n > len(r.data) {
+		r.err = io.ErrUnexpectedEOF
+		return ""
+	}
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s
+}

@@ -1,0 +1,148 @@
+package cubin
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gpuscout/internal/sass"
+)
+
+func tinyKernel(name string) *sass.Kernel {
+	k := &sass.Kernel{
+		Name: name, Arch: "sm_70", NumRegs: 8, ConstBytes: 0x170,
+		SourceFile: "tiny.cu",
+		Source:     []string{"__global__ void tiny(float* x) {", "  x[0] = 1.0f;", "}"},
+	}
+	ctrl := sass.DefaultCtrl()
+	k.Insts = []sass.Inst{
+		{Pred: sass.PT, Op: sass.OpMOV, Dst: []sass.Operand{sass.R(0)}, Src: []sass.Operand{sass.Imm(0x3f800000)}, Ctrl: ctrl, Line: 2},
+		{Pred: sass.PT, Op: sass.OpSTG, Mods: []string{"E", "SYS"}, Dst: []sass.Operand{sass.Mem(2, 0)}, Src: []sass.Operand{sass.R(0)}, Ctrl: ctrl, Line: 2},
+		{Pred: sass.PT, Op: sass.OpEXIT, Ctrl: ctrl, Line: 3},
+	}
+	k.RenumberPCs()
+	return k
+}
+
+func TestRoundTrip(t *testing.T) {
+	b := New("sm_70")
+	if err := b.Add(tinyKernel("_Z4tinyPf")); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := b.Add(tinyKernel("_Z5tiny2Pf")); err != nil {
+		t.Fatalf("Add second: %v", err)
+	}
+	data, err := Encode(b)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Arch != "sm_70" || len(got.Kernels) != 2 {
+		t.Fatalf("decoded %q with %d kernels", got.Arch, len(got.Kernels))
+	}
+	k, err := got.Kernel("_Z4tinyPf")
+	if err != nil {
+		t.Fatalf("Kernel: %v", err)
+	}
+	if k.NumRegs != 8 || k.SourceFile != "tiny.cu" || len(k.Source) != 3 {
+		t.Errorf("kernel fields lost: %+v", k)
+	}
+	if len(k.Insts) != 3 || k.Insts[1].Op != sass.OpSTG || k.Insts[1].Line != 2 {
+		t.Errorf("instructions lost: %+v", k.Insts)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	b := New("sm_70")
+	if err := b.Add(tinyKernel("_Z4tinyPf")); err != nil {
+		t.Fatal(err)
+	}
+	text, err := b.Disassemble("_Z4tinyPf")
+	if err != nil {
+		t.Fatalf("Disassemble: %v", err)
+	}
+	if !strings.Contains(text, "STG.E.SYS") || !strings.Contains(text, `//## File "tiny.cu", line 2`) {
+		t.Errorf("disassembly missing content:\n%s", text)
+	}
+	// The disassembly must itself parse.
+	if _, err := sass.Parse(text); err != nil {
+		t.Errorf("disassembly does not re-parse: %v", err)
+	}
+	if _, err := b.Disassemble("nope"); err == nil {
+		t.Error("Disassemble of missing kernel succeeded")
+	}
+}
+
+func TestAddRejects(t *testing.T) {
+	b := New("sm_70")
+	bad := tinyKernel("_Zbad")
+	bad.Insts = nil // invalid
+	if err := b.Add(bad); err == nil {
+		t.Error("Add accepted invalid kernel")
+	}
+	wrongArch := tinyKernel("_Zwrong")
+	wrongArch.Arch = "sm_60"
+	if err := b.Add(wrongArch); err == nil {
+		t.Error("Add accepted arch mismatch")
+	}
+	ok := tinyKernel("_Zdup")
+	if err := b.Add(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(tinyKernel("_Zdup")); err == nil {
+		t.Error("Add accepted duplicate kernel name")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	b := New("sm_70")
+	if err := b.Add(tinyKernel("_Z4tinyPf")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte{}, data...)
+		bad[0] = 'X'
+		if _, err := Decode(bad); err == nil {
+			t.Error("Decode accepted bad magic")
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte{}, data...)
+		bad[4] = 99
+		if _, err := Decode(bad); err == nil {
+			t.Error("Decode accepted bad version")
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		bad := append(append([]byte{}, data...), 0xde, 0xad)
+		if _, err := Decode(bad); err == nil {
+			t.Error("Decode accepted trailing bytes")
+		}
+	})
+	t.Run("truncation never panics", func(t *testing.T) {
+		for n := 0; n < len(data); n += 7 {
+			if _, err := Decode(data[:n]); err == nil {
+				t.Errorf("Decode accepted truncation at %d bytes", n)
+			}
+		}
+	})
+}
+
+func TestQuickDecodeGarbage(t *testing.T) {
+	// Property: Decode never panics on arbitrary input.
+	f := func(junk []byte) bool {
+		_, _ = Decode(junk)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,31 @@
+package cupti
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDeterminism: two identical launches must produce byte-identical
+// PC-sampling reports — the repository's determinism guarantee (no RNG in
+// the simulator or the sampler), which EXPERIMENTS.md relies on.
+func TestDeterminism(t *testing.T) {
+	k1, res1 := sampleKernel(t)
+	k2, res2 := sampleKernel(t)
+	r1, err := Collect(k1, res1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Collect(k2, res2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalSamples != r2.TotalSamples {
+		t.Fatalf("sample totals differ: %v vs %v", r1.TotalSamples, r2.TotalSamples)
+	}
+	if !reflect.DeepEqual(r1.Samples, r2.Samples) {
+		t.Error("sample series differ between identical runs")
+	}
+	if res1.Cycles != res2.Cycles {
+		t.Errorf("cycle counts differ: %v vs %v", res1.Cycles, res2.Cycles)
+	}
+}

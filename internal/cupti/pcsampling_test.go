@@ -1,0 +1,164 @@
+package cupti
+
+import (
+	"math"
+	"testing"
+
+	"gpuscout/internal/codegen"
+	"gpuscout/internal/gpu"
+	"gpuscout/internal/kasm"
+	"gpuscout/internal/sass"
+	"gpuscout/internal/sim"
+)
+
+// sampleKernel builds and runs a small latency-bound kernel.
+func sampleKernel(t *testing.T) (*sass.Kernel, *sim.Result) {
+	t.Helper()
+	b := kasm.NewBuilder("_Zsample", "sm_70", "s.cu")
+	b.NumParams(2)
+	b.Line(2)
+	tid := b.TidX()
+	in := b.ParamPtr(0)
+	out := b.ParamPtr(1)
+	off := b.Shl(kasm.VR(tid), 2)
+	addr := b.IMadWide(kasm.VR(off), kasm.VImm(1), in)
+	b.Line(3)
+	v := b.Ldg(addr, 0, 4, false)
+	b.Line(4)
+	r := b.FMul(kasm.VR(v), kasm.VR(v))
+	oaddr := b.IMadWide(kasm.VR(off), kasm.VImm(1), out)
+	b.Stg(oaddr, 0, r, 4)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := codegen.Compile(p, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := sim.NewDevice(gpu.V100())
+	inB := dev.MustAlloc(4 * 512)
+	outB := dev.MustAlloc(4 * 512)
+	res, err := sim.Launch(dev, sim.LaunchSpec{
+		Kernel: k, Grid: sim.D1(4), Block: sim.D1(128),
+		Params: []uint64{inB.Addr, outB.Addr},
+	}, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, res
+}
+
+func TestCollectBasics(t *testing.T) {
+	k, res := sampleKernel(t)
+	r, err := Collect(k, res, Config{PeriodCycles: 512})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if r.PeriodCycles != 512 || r.TotalSamples <= 0 || len(r.Samples) == 0 {
+		t.Fatalf("empty report: %+v", r)
+	}
+	// Samples sorted by PC then stall.
+	for i := 1; i < len(r.Samples); i++ {
+		a, b := r.Samples[i-1], r.Samples[i]
+		if a.PC > b.PC || (a.PC == b.PC && a.Stall >= b.Stall) {
+			t.Fatalf("samples not sorted at %d", i)
+		}
+	}
+	// Sample totals must match the stall integrals / period.
+	var want float64
+	for _, arr := range res.Counters.PCStalls {
+		for s := sim.Stall(0); s < sim.NumStalls; s++ {
+			want += arr[s]
+		}
+	}
+	want /= 512
+	if math.Abs(r.TotalSamples-want) > 1e-9*want {
+		t.Errorf("TotalSamples = %v, want %v", r.TotalSamples, want)
+	}
+	// The FMUL at line 4 consumes the load: long_scoreboard must appear.
+	if share := r.StallShareAtLine(4, sim.StallLongScoreboard); share <= 0 {
+		t.Error("no long_scoreboard at the consumer line")
+	}
+	// Line aggregation matches PC aggregation.
+	var pcAgg [sim.NumStalls]float64
+	for _, s := range r.Samples {
+		if s.Line == 4 {
+			pcAgg[s.Stall] += s.Samples
+		}
+	}
+	lineAgg := r.AtLine(4)
+	for s := sim.Stall(0); s < sim.NumStalls; s++ {
+		if math.Abs(pcAgg[s]-lineAgg[s]) > 1e-9 {
+			t.Errorf("line aggregation mismatch for %v", s)
+		}
+	}
+}
+
+func TestDefaultPeriodAndTopStalls(t *testing.T) {
+	k, res := sampleKernel(t)
+	r, err := Collect(k, res, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PeriodCycles != 2048 {
+		t.Errorf("default period = %v", r.PeriodCycles)
+	}
+	// TopStallsAtPC excludes bookkeeping reasons and sorts descending.
+	for pc := range res.Counters.PCStalls {
+		top := r.TopStallsAtPC(pc, 2)
+		if len(top) > 2 {
+			t.Fatalf("TopStallsAtPC returned %d entries", len(top))
+		}
+		for i := 1; i < len(top); i++ {
+			if top[i].Samples > top[i-1].Samples {
+				t.Error("top stalls not sorted")
+			}
+		}
+		for _, ts := range top {
+			if ts.Stall == sim.StallSelected || ts.Stall == sim.StallNotSelected {
+				t.Error("bookkeeping stall in top list")
+			}
+		}
+	}
+	if _, err := Collect(k, nil, Config{}); err == nil {
+		t.Error("Collect accepted nil result")
+	}
+}
+
+func TestKernelStallShareBounds(t *testing.T) {
+	k, res := sampleKernel(t)
+	r, err := Collect(k, res, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for s := sim.Stall(0); s < sim.NumStalls; s++ {
+		if s == sim.StallSelected {
+			continue
+		}
+		share := r.KernelStallShare(s)
+		if share < 0 || share > 1 {
+			t.Errorf("share(%v) = %v out of [0,1]", s, share)
+		}
+		total += share
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("stall shares sum to %v, want 1", total)
+	}
+}
+
+func TestCollectionCyclesGrowsWithKernel(t *testing.T) {
+	k, res := sampleKernel(t)
+	c1 := CollectionCycles(res)
+	if c1 <= res.Cycles {
+		t.Error("sampling overhead below bare kernel time")
+	}
+	big := *res
+	big.Cycles = res.Cycles * 100
+	if CollectionCycles(&big) <= c1 {
+		t.Error("overhead not increasing with kernel duration")
+	}
+	_ = k
+}

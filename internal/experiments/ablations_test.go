@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"gpuscout/internal/sim"
+)
+
+func TestAblateMSHRs(t *testing.T) {
+	tbl, err := AblateMSHRs(512, []int{32, 112, 4096}, sim.Config{SampleSMs: 1})
+	if err != nil {
+		t.Fatalf("AblateMSHRs: %v", err)
+	}
+	t.Log("\n" + tbl.Render())
+	// The texture advantage must shrink monotonically as the LSU gets
+	// more outstanding-miss capacity, and essentially vanish when the
+	// MSHR limit is lifted.
+	speedups := make([]float64, 0, 3)
+	for _, r := range tbl.Rows {
+		x := strings.SplitN(r.Measured, "x", 2)[0]
+		v, err := strconv.ParseFloat(x, 64)
+		if err != nil {
+			t.Fatalf("unparseable measured %q", r.Measured)
+		}
+		speedups = append(speedups, v)
+	}
+	for i := 1; i < len(speedups); i++ {
+		if speedups[i] > speedups[i-1]+0.05 {
+			t.Errorf("texture speedup not shrinking with MSHRs: %v", speedups)
+		}
+	}
+	if last := speedups[len(speedups)-1]; last > 1.35 {
+		t.Errorf("with unlimited MSHRs the texture advantage should nearly vanish, got %.2fx", last)
+	}
+	if first := speedups[0]; first < 1.5 {
+		t.Errorf("with scarce MSHRs the texture advantage should be large, got %.2fx", first)
+	}
+}
+
+func TestAblateSampling(t *testing.T) {
+	// SampleSMs=1 sees only SM 0, which owns the grid's left-edge blocks
+	// and so skips one halo-sector DRAM miss per row — a real boundary
+	// effect, not noise. Fidelity is therefore asserted among the
+	// multi-SM samples, which must agree tightly (baseline: SampleSMs=2).
+	tbl, err := AblateSampling("jacobi_naive", 512, []int{2, 4, 8})
+	if err != nil {
+		t.Fatalf("AblateSampling: %v", err)
+	}
+	t.Log("\n" + tbl.Render())
+	for _, r := range tbl.Rows[1:] {
+		i := strings.Index(r.Measured, "(")
+		j := strings.Index(r.Measured, "%")
+		if i < 0 || j < i {
+			t.Fatalf("unparseable %q", r.Measured)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(r.Measured[i+1:j]), 64)
+		if err != nil {
+			t.Fatalf("unparseable delta in %q", r.Measured)
+		}
+		if v < -10 || v > 10 {
+			t.Errorf("sampling fidelity broken: %s", r.Measured)
+		}
+	}
+}
+
+func TestSGEMMScaleSweep(t *testing.T) {
+	tbl, err := SGEMMScaleSweep([]int{64, 128, 256}, sim.Config{SampleSMs: 1})
+	if err != nil {
+		t.Fatalf("SGEMMScaleSweep: %v", err)
+	}
+	t.Log("\n" + tbl.Render())
+	// The tiling advantage must grow with N (toward the paper's 54x).
+	var prev float64
+	for _, r := range tbl.Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(r.Measured, "x"), 64)
+		if err != nil {
+			t.Fatalf("unparseable %q", r.Measured)
+		}
+		if v < prev*0.9 {
+			t.Errorf("speedup shrinking with size: %s", tbl.Render())
+		}
+		prev = v
+	}
+}
+
+func TestAblateLGQueue(t *testing.T) {
+	tbl, err := AblateLGQueue([]int{2, 12, 48}, sim.Config{SampleSMs: 1})
+	if err != nil {
+		t.Fatalf("AblateLGQueue: %v", err)
+	}
+	t.Log("\n" + tbl.Render())
+	// Shallower LG queues must produce more lg_throttle.
+	shares := make([]float64, 0, 3)
+	for _, r := range tbl.Rows {
+		i := strings.Index(r.Measured, "lg_throttle ")
+		j := strings.Index(r.Measured, "%")
+		v, err := strconv.ParseFloat(r.Measured[i+len("lg_throttle "):j], 64)
+		if err != nil {
+			t.Fatalf("unparseable %q", r.Measured)
+		}
+		shares = append(shares, v)
+	}
+	for i := 1; i < len(shares); i++ {
+		if shares[i] > shares[i-1]+0.5 {
+			t.Errorf("lg_throttle not decreasing with queue depth: %v", shares)
+		}
+	}
+	if shares[0] <= shares[len(shares)-1] {
+		t.Errorf("no lg_throttle sensitivity to queue depth: %v", shares)
+	}
+}

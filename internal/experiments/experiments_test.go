@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"gpuscout/internal/sim"
+)
+
+func TestMixbench51Table(t *testing.T) {
+	tbl, err := Mixbench51(24, sim.Config{SampleSMs: 1})
+	if err != nil {
+		t.Fatalf("Mixbench51: %v", err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tbl.Rows))
+	}
+	text := tbl.Render()
+	t.Log("\n" + text)
+	for _, want := range []string{"3.77x", "single-precision speedup", "long_scoreboard", "occupancy"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+func TestJacobi52Table(t *testing.T) {
+	tbl, err := Jacobi52(512, sim.Config{SampleSMs: 1})
+	if err != nil {
+		t.Fatalf("Jacobi52: %v", err)
+	}
+	text := tbl.Render()
+	t.Log("\n" + text)
+	for _, want := range []string{"61.1%", "tex_throttle", "221760 B", "__restrict__", "I2F", "6 (static count)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+func TestSGEMM53Table(t *testing.T) {
+	tbl, err := SGEMM53(256, sim.Config{SampleSMs: 1})
+	if err != nil {
+		t.Fatalf("SGEMM53: %v", err)
+	}
+	text := tbl.Render()
+	t.Log("\n" + text)
+	for _, want := range []string{"54x", "mio_throttle", "registers per thread", "25 -> 72"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	s, err := Fig6Overhead([]int{64, 128, 256}, sim.Config{SampleSMs: 1})
+	if err != nil {
+		t.Fatalf("Fig6Overhead: %v", err)
+	}
+	t.Log("\n" + s.Render())
+	if len(s.Points) != 3 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	for i, p := range s.Points {
+		// The Fig. 6 qualitative shape: metric collection dominates.
+		if p.MetricsMs <= p.SamplingMs || p.MetricShare < 0.5 {
+			t.Errorf("N=%d: metric collection does not dominate (%.3f ms vs sampling %.3f ms)",
+				p.N, p.MetricsMs, p.SamplingMs)
+		}
+		if p.OverheadX <= 1 {
+			t.Errorf("N=%d: overhead factor %.2f <= 1", p.N, p.OverheadX)
+		}
+		// Kernel time and dynamic-pillar time grow with size.
+		if i > 0 {
+			prev := s.Points[i-1]
+			if p.KernelMs <= prev.KernelMs {
+				t.Errorf("kernel time not growing: N=%d %.3f <= N=%d %.3f", p.N, p.KernelMs, prev.N, prev.KernelMs)
+			}
+			if p.MetricsMs <= prev.MetricsMs {
+				t.Errorf("metric collection not growing with size")
+			}
+		}
+	}
+}
+
+func TestFigReports(t *testing.T) {
+	fig2, err := Fig2Report()
+	if err != nil {
+		t.Fatalf("Fig2Report: %v", err)
+	}
+	for _, want := range []string{"Register spilling", "Warp stalls", "Metric analysis", "local memory"} {
+		if !strings.Contains(fig2, want) {
+			t.Errorf("Fig2 report missing %q", want)
+		}
+	}
+	fig5, err := Fig5Report()
+	if err != nil {
+		t.Fatalf("Fig5Report: %v", err)
+	}
+	for _, want := range []string{"vectorized", "shared memory", "benchmark_func"} {
+		if !strings.Contains(fig5, want) {
+			t.Errorf("Fig5 report missing %q", want)
+		}
+	}
+}
+
+func TestCompareDemo(t *testing.T) {
+	text, err := CompareDemo()
+	if err != nil {
+		t.Fatalf("CompareDemo: %v", err)
+	}
+	if !strings.Contains(text, "Metrics comparison") || !strings.Contains(text, "faster") {
+		t.Errorf("comparison demo incomplete:\n%s", text)
+	}
+}

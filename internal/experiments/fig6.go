@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gpuscout/internal/gpu"
+	"gpuscout/internal/scout"
+	"gpuscout/internal/sim"
+	"gpuscout/internal/workloads"
+)
+
+// Fig6Point is one matrix size of the Fig. 6 overhead analysis: the time
+// each GPUscout pillar needs when analyzing the SGEMM kernel, and the
+// resulting overhead factor versus the bare kernel execution.
+type Fig6Point struct {
+	N int
+	// All times in milliseconds at the modeled V100 clock.
+	KernelMs    float64
+	SASSMs      float64 // static analysis (measured wall time)
+	SamplingMs  float64 // CUPTI PC sampling pass
+	MetricsMs   float64 // ncu metric collection (replay passes)
+	TotalMs     float64
+	OverheadX   float64 // total analysis time / bare kernel time
+	MetricShare float64 // metric collection's share of the total
+}
+
+// Fig6Series is the full sweep.
+type Fig6Series struct {
+	Points []Fig6Point
+}
+
+// Fig6Overhead regenerates the Fig. 6 measurement: GPUscout's overhead on
+// the SGEMM kernel across matrix sizes. sizes == nil selects a default
+// sweep (the paper swept up to 8192; the simulator sweeps a scaled range).
+func Fig6Overhead(sizes []int, cfg sim.Config) (*Fig6Series, error) {
+	if sizes == nil {
+		sizes = []int{64, 128, 256, 512}
+	}
+	arch := gpu.V100()
+	toMs := func(cycles float64) float64 {
+		return arch.CyclesToSeconds(uint64(cycles)) * 1e3
+	}
+	s := &Fig6Series{}
+	for _, n := range sizes {
+		w, err := workloads.Build("sgemm_naive", n)
+		if err != nil {
+			return nil, err
+		}
+		run := func(c sim.Config) (*sim.Result, error) {
+			dev := sim.NewDevice(arch)
+			return workloads.Execute(w, dev, c)
+		}
+		rep, err := scout.Analyze(arch, w.Kernel, run, scout.Options{Sim: cfg})
+		if err != nil {
+			return nil, err
+		}
+		p := Fig6Point{
+			N:          n,
+			KernelMs:   toMs(rep.KernelCycles),
+			SASSMs:     toMs(rep.OverheadSASSCycles),
+			SamplingMs: toMs(rep.OverheadSamplingCycles),
+			MetricsMs:  toMs(rep.OverheadMetricsCycles),
+		}
+		p.TotalMs = p.SASSMs + p.SamplingMs + p.MetricsMs
+		if p.KernelMs > 0 {
+			p.OverheadX = p.TotalMs / p.KernelMs
+		}
+		if p.TotalMs > 0 {
+			p.MetricShare = p.MetricsMs / p.TotalMs
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s, nil
+}
+
+// Render formats the sweep as the two Fig. 6 panels: per-pillar times and
+// the overhead factor.
+func (s *Fig6Series) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig.6 — GPUscout measurement overhead (SGEMM size sweep)\n")
+	fmt.Fprintf(&b, "  %8s | %12s | %10s | %12s | %12s | %10s | %9s\n",
+		"N", "kernel (ms)", "SASS (ms)", "PC samp (ms)", "metrics (ms)", "total (ms)", "overhead")
+	b.WriteString("  " + strings.Repeat("-", 90) + "\n")
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "  %8d | %12.3f | %10.3f | %12.3f | %12.3f | %10.3f | %8.1fx\n",
+			p.N, p.KernelMs, p.SASSMs, p.SamplingMs, p.MetricsMs, p.TotalMs, p.OverheadX)
+	}
+	b.WriteString("\n  Paper shape: metric collection dominates and grows with problem size;\n")
+	b.WriteString("  PC sampling grows slower; SASS analysis is size-independent\n")
+	b.WriteString("  (dominant only for very short kernels). Paper peak overhead: 28x at 8192^2.\n")
+	return b.String()
+}

@@ -1,0 +1,183 @@
+// Package gpu describes the modeled GPU architectures: the static hardware
+// parameters the simulator, the occupancy calculator, and the metric
+// formulas consume. The default is a Tesla V100 (Volta, SM 7.0) — the GPU
+// the paper's evaluation ran on.
+package gpu
+
+import "fmt"
+
+// Arch holds the hardware parameters of one GPU model.
+type Arch struct {
+	Name string // marketing name, e.g. "Tesla V100"
+	SM   string // compute architecture tag, e.g. "sm_70"
+
+	// Chip-level organization.
+	NumSMs      int     // streaming multiprocessors
+	ClockGHz    float64 // SM clock
+	DRAMBytes   int64   // device memory capacity
+	DRAMBWBytes float64 // DRAM bandwidth in bytes/cycle (whole chip)
+	DRAMLatency int     // cycles from L2 miss to data return
+
+	// Per-SM resources.
+	WarpSize           int
+	MaxWarpsPerSM      int
+	MaxBlocksPerSM     int
+	MaxThreadsPerBlock int
+	RegsPerSM          int // 32-bit registers in the register file
+	MaxRegsPerThread   int
+	RegAllocGranule    int // register allocation granularity (per warp)
+	SharedPerSM        int // bytes of shared memory
+	SharedGranule      int // shared allocation granularity in bytes
+	NumSchedulers      int // warp schedulers per SM
+
+	// Memory hierarchy.
+	L1Bytes       int // unified L1/tex data cache per SM
+	L1LineBytes   int
+	L1SectorBytes int
+	L1Ways        int
+	L1HitLatency  int
+	L2Bytes       int // chip-wide L2
+	L2LineBytes   int
+	L2Ways        int
+	L2HitLatency  int
+	L2BWBytes     float64 // L2 bandwidth in bytes/cycle (whole chip)
+	SharedBanks   int
+	SharedLatency int // MIO shared-memory access latency
+	TexLatency    int // texture pipe latency on a tex-cache hit
+
+	// Issue-queue depths per SM; when full, issuing warps report the
+	// corresponding throttle stall (lg_throttle / mio_throttle /
+	// tex_throttle).
+	LGQueueDepth  int
+	MIOQueueDepth int
+	TEXQueueDepth int
+
+	// Miss-status holding registers: outstanding L1 misses supported by
+	// the LSU path vs the (deeper) texture path. The texture pipe's
+	// greater memory-level parallelism is what makes tex2D() faster for
+	// latency-bound stencils (§5.2).
+	LSUMSHRs int
+	TEXMSHRs int
+
+	// Pipe issue intervals in cycles (1 = fully pipelined per scheduler).
+	ALULatency    int // dependent-issue latency of the ALU pipe
+	FP64Latency   int
+	SFULatency    int
+	FP64IssueRate int // cycles between FP64 issues per scheduler (throughput limit)
+	SFUIssueRate  int
+}
+
+// V100 returns the Tesla V100 (SXM2 16GB) description used throughout the
+// paper's evaluation: 80 SMs, Volta memory system, ~900 GB/s HBM2.
+func V100() Arch {
+	return Arch{
+		Name: "Tesla V100", SM: "sm_70",
+
+		NumSMs:      80,
+		ClockGHz:    1.38,
+		DRAMBytes:   16 << 30,
+		DRAMBWBytes: 652, // ~900 GB/s / 1.38 GHz
+		DRAMLatency: 440,
+
+		WarpSize:           32,
+		MaxWarpsPerSM:      64,
+		MaxBlocksPerSM:     32,
+		MaxThreadsPerBlock: 1024,
+		RegsPerSM:          65536,
+		MaxRegsPerThread:   255,
+		RegAllocGranule:    256, // registers per warp rounded to 8/thread
+		SharedPerSM:        96 << 10,
+		SharedGranule:      256,
+		NumSchedulers:      4,
+
+		L1Bytes:       128 << 10,
+		L1LineBytes:   128,
+		L1SectorBytes: 32,
+		L1Ways:        4,
+		L1HitLatency:  28,
+		L2Bytes:       6 << 20,
+		L2LineBytes:   128,
+		L2Ways:        16,
+		L2HitLatency:  193,
+		L2BWBytes:     1600,
+		SharedBanks:   32,
+		SharedLatency: 19,
+		TexLatency:    60,
+
+		LGQueueDepth:  12,
+		MIOQueueDepth: 8,
+		TEXQueueDepth: 8,
+
+		LSUMSHRs: 112,
+		TEXMSHRs: 256,
+
+		ALULatency:    4,
+		FP64Latency:   8,
+		SFULatency:    14,
+		FP64IssueRate: 2,
+		SFUIssueRate:  4,
+	}
+}
+
+// P100 returns a Pascal-generation description. ncu does not support
+// Pascal (the paper notes GPUscout's --dry-run still works there); the
+// simulator supports it fully, but the scout tool refuses metric
+// collection for it just as ncu would.
+func P100() Arch {
+	a := V100()
+	a.Name, a.SM = "Tesla P100", "sm_60"
+	a.NumSMs = 56
+	a.ClockGHz = 1.33
+	a.MaxWarpsPerSM = 64
+	a.SharedPerSM = 64 << 10
+	a.L1Bytes = 24 << 10
+	a.L2Bytes = 4 << 20
+	a.DRAMBWBytes = 549 // ~730 GB/s / 1.33 GHz
+	return a
+}
+
+// A100 returns an Ampere-generation description (SM 8.0): more SMs, a
+// larger L2 and more shared memory per SM than the V100. GPUscout's
+// modular analyses run on it unchanged — the paper's extensibility claim.
+func A100() Arch {
+	a := V100()
+	a.Name, a.SM = "A100", "sm_80"
+	a.NumSMs = 108
+	a.ClockGHz = 1.41
+	a.DRAMBytes = 40 << 30
+	a.DRAMBWBytes = 1103 // ~1555 GB/s HBM2e / 1.41 GHz
+	a.SharedPerSM = 164 << 10
+	a.L1Bytes = 192 << 10
+	a.L1Ways = 6
+	a.L2Bytes = 40 << 20
+	a.L2BWBytes = 3200
+	a.MaxRegsPerThread = 255
+	a.LSUMSHRs = 144
+	a.TEXMSHRs = 320
+	return a
+}
+
+// ByName resolves an architecture by SM tag ("sm_70") or name.
+func ByName(name string) (Arch, error) {
+	switch name {
+	case "sm_70", "V100", "v100", "Tesla V100":
+		return V100(), nil
+	case "sm_60", "P100", "p100", "Tesla P100":
+		return P100(), nil
+	case "sm_80", "A100", "a100":
+		return A100(), nil
+	}
+	return Arch{}, fmt.Errorf("gpu: unknown architecture %q", name)
+}
+
+// SupportsNCU reports whether the (modeled) Nsight Compute CLI supports
+// this architecture. Volta (sm_70) and newer are supported; Pascal is not,
+// mirroring the tooling restriction discussed with --dry-run in §3.1.
+func (a Arch) SupportsNCU() bool {
+	return a.SM >= "sm_70"
+}
+
+// CyclesToSeconds converts an SM cycle count to wall-clock seconds.
+func (a Arch) CyclesToSeconds(cycles uint64) float64 {
+	return float64(cycles) / (a.ClockGHz * 1e9)
+}

@@ -1,0 +1,147 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestV100Parameters(t *testing.T) {
+	a := V100()
+	if a.NumSMs != 80 {
+		t.Errorf("V100 NumSMs = %d, want 80 (paper §5)", a.NumSMs)
+	}
+	if a.MaxWarpsPerSM*a.WarpSize != 2048 {
+		t.Errorf("V100 threads per SM = %d, want 2048", a.MaxWarpsPerSM*a.WarpSize)
+	}
+	if !a.SupportsNCU() {
+		t.Error("V100 must support ncu metric collection")
+	}
+	// ~900 GB/s HBM2.
+	gbps := a.DRAMBWBytes * a.ClockGHz
+	if gbps < 850 || gbps > 950 {
+		t.Errorf("V100 DRAM bandwidth = %.0f GB/s, want ~900", gbps)
+	}
+}
+
+func TestPascalNoNCU(t *testing.T) {
+	a := P100()
+	if a.SupportsNCU() {
+		t.Error("Pascal must not support ncu (motivates --dry-run, §3.1)")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"sm_70", "V100", "sm_60", "p100"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("sm_99"); err == nil {
+		t.Error("ByName accepted unknown architecture")
+	}
+}
+
+func TestOccupancyKnownPoints(t *testing.T) {
+	a := V100()
+	cases := []struct {
+		regs, shared, block int
+		wantWarps           int
+		wantLimiter         string
+	}{
+		// 32 regs/thread, no shared, 256-thread blocks: full occupancy.
+		{32, 0, 256, 64, "warps"},
+		// 64 regs/thread: register file limits to 32 warps (50%).
+		{64, 0, 256, 32, "registers"},
+		// 128 regs/thread: 16 warps (25%).
+		{128, 0, 256, 16, "registers"},
+		// 48 KB shared per block: two blocks fit.
+		{32, 48 << 10, 256, 16, "shared"},
+		// Tiny blocks hit the block-slot limit: 32 blocks x 1 warp.
+		{16, 0, 32, 32, "blocks"},
+	}
+	for _, tc := range cases {
+		occ, err := ComputeOccupancy(a, tc.regs, tc.shared, tc.block)
+		if err != nil {
+			t.Errorf("ComputeOccupancy(%d,%d,%d): %v", tc.regs, tc.shared, tc.block, err)
+			continue
+		}
+		if occ.WarpsPerSM != tc.wantWarps {
+			t.Errorf("ComputeOccupancy(%d,%d,%d).WarpsPerSM = %d, want %d",
+				tc.regs, tc.shared, tc.block, occ.WarpsPerSM, tc.wantWarps)
+		}
+		if occ.Limiter != tc.wantLimiter {
+			t.Errorf("ComputeOccupancy(%d,%d,%d).Limiter = %q, want %q",
+				tc.regs, tc.shared, tc.block, occ.Limiter, tc.wantLimiter)
+		}
+	}
+}
+
+func TestOccupancyMoreRegistersNeverHelps(t *testing.T) {
+	// Property: occupancy is monotonically non-increasing in register
+	// count and shared memory usage.
+	a := V100()
+	f := func(regs8, shared8, block8 uint8) bool {
+		regs := int(regs8%120) + 16
+		shared := int(shared8) * 128
+		block := (int(block8%31) + 1) * 32
+		o1, err1 := ComputeOccupancy(a, regs, shared, block)
+		o2, err2 := ComputeOccupancy(a, regs+8, shared, block)
+		if err1 != nil || err2 != nil {
+			return true // does not fit; nothing to compare
+		}
+		if o2.Theoretical > o1.Theoretical {
+			return false
+		}
+		o3, err3 := ComputeOccupancy(a, regs, shared+4096, block)
+		if err3 == nil && o3.Theoretical > o1.Theoretical {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOccupancyErrors(t *testing.T) {
+	a := V100()
+	if _, err := ComputeOccupancy(a, 32, 0, 0); err == nil {
+		t.Error("accepted zero block size")
+	}
+	if _, err := ComputeOccupancy(a, 32, 0, 2048); err == nil {
+		t.Error("accepted oversized block")
+	}
+	if _, err := ComputeOccupancy(a, 300, 0, 256); err == nil {
+		t.Error("accepted too many registers per thread")
+	}
+	if _, err := ComputeOccupancy(a, 32, 200<<10, 256); err == nil {
+		t.Error("accepted block with more shared memory than the SM has")
+	}
+}
+
+func TestCyclesToSeconds(t *testing.T) {
+	a := V100()
+	s := a.CyclesToSeconds(uint64(a.ClockGHz * 1e9))
+	if s < 0.999 || s > 1.001 {
+		t.Errorf("CyclesToSeconds(1s worth) = %v", s)
+	}
+}
+
+func TestA100(t *testing.T) {
+	a := A100()
+	if !a.SupportsNCU() {
+		t.Error("A100 must support ncu")
+	}
+	if a.NumSMs != 108 || a.SM != "sm_80" {
+		t.Errorf("A100 shape wrong: %+v", a)
+	}
+	got, err := ByName("sm_80")
+	if err != nil || got.Name != "A100" {
+		t.Errorf("ByName(sm_80) = %v, %v", got.Name, err)
+	}
+	// More memory bandwidth and L2 than the V100.
+	v := V100()
+	if a.DRAMBWBytes <= v.DRAMBWBytes || a.L2Bytes <= v.L2Bytes {
+		t.Error("A100 not bigger than V100 where it should be")
+	}
+}

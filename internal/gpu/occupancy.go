@@ -1,0 +1,82 @@
+package gpu
+
+import "fmt"
+
+// Occupancy is the result of the CUDA occupancy calculation for one kernel
+// launch configuration: how many blocks and warps fit on an SM, and which
+// resource limits them. GPUscout reports register-pressure-driven occupancy
+// drops (§4.1: "an increased register pressure may lead to a decreased
+// occupancy on an SM").
+type Occupancy struct {
+	BlocksPerSM   int
+	WarpsPerBlock int
+	WarpsPerSM    int
+	// Theoretical occupancy: resident warps / max warps.
+	Theoretical float64
+	// Limiter names the resource that bounds BlocksPerSM:
+	// "warps", "registers", "shared", or "blocks".
+	Limiter string
+}
+
+// ComputeOccupancy calculates the theoretical occupancy of a kernel with
+// the given per-thread register count, per-block shared memory and block
+// size on architecture a.
+func ComputeOccupancy(a Arch, regsPerThread, sharedPerBlock, threadsPerBlock int) (Occupancy, error) {
+	if threadsPerBlock <= 0 || threadsPerBlock > a.MaxThreadsPerBlock {
+		return Occupancy{}, fmt.Errorf("gpu: block size %d out of range (1..%d)", threadsPerBlock, a.MaxThreadsPerBlock)
+	}
+	if regsPerThread > a.MaxRegsPerThread {
+		return Occupancy{}, fmt.Errorf("gpu: %d registers per thread exceeds limit %d", regsPerThread, a.MaxRegsPerThread)
+	}
+	warpsPerBlock := (threadsPerBlock + a.WarpSize - 1) / a.WarpSize
+
+	// Limit 1: warp slots.
+	byWarps := a.MaxWarpsPerSM / warpsPerBlock
+
+	// Limit 2: registers. Allocation is per warp at RegAllocGranule
+	// granularity.
+	byRegs := byWarps
+	if regsPerThread > 0 {
+		regsPerWarp := roundUp(regsPerThread*a.WarpSize, a.RegAllocGranule)
+		warpsByRegs := a.RegsPerSM / regsPerWarp
+		byRegs = warpsByRegs / warpsPerBlock
+	}
+
+	// Limit 3: shared memory.
+	byShared := byWarps
+	if sharedPerBlock > 0 {
+		byShared = a.SharedPerSM / roundUp(sharedPerBlock, a.SharedGranule)
+	}
+
+	// Limit 4: block slots.
+	byBlocks := a.MaxBlocksPerSM
+
+	blocks := byWarps
+	limiter := "warps"
+	for _, c := range []struct {
+		n   int
+		tag string
+	}{{byRegs, "registers"}, {byShared, "shared"}, {byBlocks, "blocks"}} {
+		if c.n < blocks {
+			blocks, limiter = c.n, c.tag
+		}
+	}
+	if blocks <= 0 {
+		return Occupancy{}, fmt.Errorf("gpu: kernel does not fit on an SM (limited by %s)", limiter)
+	}
+	warps := blocks * warpsPerBlock
+	return Occupancy{
+		BlocksPerSM:   blocks,
+		WarpsPerBlock: warpsPerBlock,
+		WarpsPerSM:    warps,
+		Theoretical:   float64(warps) / float64(a.MaxWarpsPerSM),
+		Limiter:       limiter,
+	}, nil
+}
+
+func roundUp(v, g int) int {
+	if g <= 0 {
+		return v
+	}
+	return (v + g - 1) / g * g
+}

@@ -1,0 +1,82 @@
+package memsys
+
+// BankConflicts computes how many serialized transactions a warp's
+// shared-memory access generates on a banked shared memory. Shared memory
+// is organized in NumBanks 4-byte-wide banks; lanes touching different
+// 32-bit words that map to the same bank serialize, while lanes reading
+// the *same* word broadcast in one transaction.
+//
+// The paper's §4.3 bank-conflict ratio —
+//
+//	(# shared load transactions) / (# shared load accesses)
+//
+// — is exactly (sum of this function over accesses) / (access count):
+// 1.0 means conflict-free, 32 means fully serialized 32-way conflicts.
+func BankConflicts(numBanks int, addrs []uint64, active []bool, widthBytes int) int {
+	// Per bank, collect the set of distinct word addresses touched.
+	words := make(map[uint64]struct{}, len(addrs))
+	for lane, a := range addrs {
+		if lane < len(active) && !active[lane] {
+			continue
+		}
+		for w := 0; w < widthBytes; w += 4 {
+			words[(a+uint64(w))/4] = struct{}{}
+		}
+	}
+	if len(words) == 0 {
+		return 0
+	}
+	perBank := make(map[int]int)
+	maxPer := 0
+	for word := range words {
+		bank := int(word % uint64(numBanks))
+		perBank[bank]++
+		if perBank[bank] > maxPer {
+			maxPer = perBank[bank]
+		}
+	}
+	return maxPer
+}
+
+// AtomicConflicts computes the serialization factor of a warp's shared
+// memory *atomic* access: unlike plain loads, same-word accesses cannot
+// broadcast — every lane performs a read-modify-write, so the per-bank
+// lane count (including duplicates) bounds the transactions.
+func AtomicConflicts(numBanks int, addrs []uint64, active []bool) int {
+	perBank := make(map[int]int)
+	maxPer := 0
+	for lane, a := range addrs {
+		if lane < len(active) && !active[lane] {
+			continue
+		}
+		bank := int((a / 4) % uint64(numBanks))
+		perBank[bank]++
+		if perBank[bank] > maxPer {
+			maxPer = perBank[bank]
+		}
+	}
+	return maxPer
+}
+
+// CoalesceSectors returns the distinct sector base addresses a warp's
+// global/local access touches — the unit the L1TEX pipe processes.
+// Perfectly coalesced 32-lane 4-byte accesses produce 4 sectors of 32
+// bytes (one 128-byte line); a stride-N pattern produces up to one sector
+// per lane. The returned slice is in first-touch order.
+func CoalesceSectors(sectorBytes int, addrs []uint64, active []bool, widthBytes int) []uint64 {
+	var order []uint64
+	seen := make(map[uint64]struct{}, len(addrs))
+	for lane, a := range addrs {
+		if lane < len(active) && !active[lane] {
+			continue
+		}
+		for w := 0; w < widthBytes; w += 4 {
+			s := (a + uint64(w)) / uint64(sectorBytes) * uint64(sectorBytes)
+			if _, ok := seen[s]; !ok {
+				seen[s] = struct{}{}
+				order = append(order, s)
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,165 @@
+// Package memsys provides the building blocks of the simulated GPU memory
+// hierarchy: sectored set-associative caches (L1TEX, L2, the read-only/
+// texture cache), a bandwidth/occupancy model for DRAM and L2 service, and
+// the shared-memory bank-conflict calculator. internal/sim composes these
+// into the full V100 hierarchy.
+package memsys
+
+import "fmt"
+
+// CacheConfig sizes a sectored, set-associative, write-through cache.
+// NVIDIA L1/L2 caches operate on 128-byte lines divided into 32-byte
+// sectors: a miss fills only the missing sector, and all traffic metrics
+// (l1tex__t_sectors_*, lts__t_sectors_*) count sectors.
+type CacheConfig struct {
+	Name        string
+	TotalBytes  int
+	LineBytes   int
+	SectorBytes int
+	Ways        int
+}
+
+// CacheStats aggregates sector-level access counts.
+type CacheStats struct {
+	Accesses uint64 // sector accesses
+	Hits     uint64
+	Misses   uint64
+	ReadAcc  uint64
+	WriteAcc uint64
+}
+
+// HitRate returns hits/accesses in [0,1]; 0 when idle.
+func (s CacheStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// MissRate returns 1 - HitRate when there was traffic, else 0.
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type cacheLine struct {
+	tag     uint64
+	valid   bool
+	sectors uint32 // per-sector valid bits
+	lastUse uint64 // LRU clock
+}
+
+// Cache is a sectored set-associative cache with true LRU replacement.
+type Cache struct {
+	cfg            CacheConfig
+	sets           int
+	sectorsPerLine uint
+	lines          []cacheLine // sets*ways, way-major within set
+	clock          uint64
+	stats          CacheStats
+}
+
+// NewCache builds a cache; it panics on non-power-of-two geometry
+// violations since configurations are static architecture descriptions.
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.LineBytes <= 0 || cfg.SectorBytes <= 0 || cfg.LineBytes%cfg.SectorBytes != 0 {
+		panic(fmt.Sprintf("memsys: bad line/sector geometry %d/%d", cfg.LineBytes, cfg.SectorBytes))
+	}
+	if cfg.Ways <= 0 || cfg.TotalBytes%(cfg.LineBytes*cfg.Ways) != 0 {
+		panic(fmt.Sprintf("memsys: %s size %d not divisible into %d ways of %dB lines",
+			cfg.Name, cfg.TotalBytes, cfg.Ways, cfg.LineBytes))
+	}
+	sets := cfg.TotalBytes / (cfg.LineBytes * cfg.Ways)
+	return &Cache{
+		cfg:            cfg,
+		sets:           sets,
+		sectorsPerLine: uint(cfg.LineBytes / cfg.SectorBytes),
+		lines:          make([]cacheLine, sets*cfg.Ways),
+	}
+}
+
+// AccessSector looks up the 32-byte (SectorBytes) sector containing addr,
+// fills it on miss, and reports whether it hit. write distinguishes read
+// and write traffic in the stats; the model is write-allocate.
+func (c *Cache) AccessSector(addr uint64, write bool) (hit bool) {
+	c.clock++
+	c.stats.Accesses++
+	if write {
+		c.stats.WriteAcc++
+	} else {
+		c.stats.ReadAcc++
+	}
+	lineAddr := addr / uint64(c.cfg.LineBytes)
+	set := int(lineAddr) % c.sets
+	tag := lineAddr / uint64(c.sets)
+	sector := uint32(1) << ((addr % uint64(c.cfg.LineBytes)) / uint64(c.cfg.SectorBytes))
+
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag {
+			l.lastUse = c.clock
+			if l.sectors&sector != 0 {
+				c.stats.Hits++
+				return true
+			}
+			// Line present, sector missing: sector miss fill.
+			l.sectors |= sector
+			c.stats.Misses++
+			return false
+		}
+	}
+	// Miss: fill an invalid way, else evict true-LRU.
+	victim := base
+	for w := 0; w < c.cfg.Ways; w++ {
+		l := &c.lines[base+w]
+		if !l.valid {
+			victim = base + w
+			break
+		}
+		if l.lastUse < c.lines[victim].lastUse {
+			victim = base + w
+		}
+	}
+	v := &c.lines[victim]
+	v.valid = true
+	v.tag = tag
+	v.sectors = sector
+	v.lastUse = c.clock
+	c.stats.Misses++
+	return false
+}
+
+// Contains reports whether the sector holding addr is resident (no state
+// change, no stats).
+func (c *Cache) Contains(addr uint64) bool {
+	lineAddr := addr / uint64(c.cfg.LineBytes)
+	set := int(lineAddr) % c.sets
+	tag := lineAddr / uint64(c.sets)
+	sector := uint32(1) << ((addr % uint64(c.cfg.LineBytes)) / uint64(c.cfg.SectorBytes))
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag && l.sectors&sector != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a copy of the access counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+	c.clock = 0
+	c.stats = CacheStats{}
+}
+
+// SectorBytes exposes the sector granularity.
+func (c *Cache) SectorBytes() int { return c.cfg.SectorBytes }

@@ -1,0 +1,114 @@
+package ncu
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuscout/internal/gpu"
+)
+
+// MetricSet is the outcome of one modeled ncu collection run.
+type MetricSet struct {
+	Kernel string
+	// Values holds the computed metric values by name.
+	Values map[string]float64
+	// Passes is how many kernel replays the collection needed; ncu groups
+	// metrics into hardware-counter passes and replays the kernel once
+	// per pass.
+	Passes int
+	// OverheadCycles is the modeled wall cost of the collection in SM
+	// cycles: the dominant contributor to GPUscout's overhead (Fig. 6).
+	OverheadCycles float64
+}
+
+// Collector models the ncu CLI: which metrics to gather and the replay
+// cost structure.
+type Collector struct {
+	Arch gpu.Arch
+	// MetricsPerPass is how many metrics fit in one replay pass
+	// (hardware counter multiplexing); default 8.
+	MetricsPerPass int
+	// ReplayFactor is the slowdown of one profiled replay relative to the
+	// bare kernel (serialization, cache-control, counter readout);
+	// default 5.
+	ReplayFactor float64
+	// FixedCyclesPerPass models per-pass setup/teardown; default 4e6
+	// cycles (~3 ms at V100 clocks).
+	FixedCyclesPerPass float64
+}
+
+func (c Collector) metricsPerPass() int {
+	if c.MetricsPerPass <= 0 {
+		return 8
+	}
+	return c.MetricsPerPass
+}
+
+func (c Collector) replayFactor() float64 {
+	if c.ReplayFactor <= 0 {
+		return 5
+	}
+	return c.ReplayFactor
+}
+
+func (c Collector) fixedPerPass() float64 {
+	if c.FixedCyclesPerPass <= 0 {
+		return 4e6
+	}
+	return c.FixedCyclesPerPass
+}
+
+// Collect computes the named metrics for a finished launch. It fails on
+// unknown metric names and on architectures ncu does not support
+// (Pascal and older — the situation GPUscout's --dry-run exists for).
+func (c Collector) Collect(ctx Context, names []string) (*MetricSet, error) {
+	if !c.Arch.SupportsNCU() {
+		return nil, fmt.Errorf("ncu: architecture %s (%s) is not supported by Nsight Compute; use the static (dry-run) analysis", c.Arch.Name, c.Arch.SM)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("ncu: no metrics requested")
+	}
+	seen := map[string]bool{}
+	ms := &MetricSet{Kernel: ctx.Kernel.Name, Values: map[string]float64{}}
+	for _, n := range names {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		v, err := Value(n, ctx)
+		if err != nil {
+			return nil, err
+		}
+		ms.Values[n] = v
+	}
+	uniq := len(ms.Values)
+	ms.Passes = (uniq + c.metricsPerPass() - 1) / c.metricsPerPass()
+	ms.OverheadCycles = float64(ms.Passes) * (ctx.Result.Cycles*c.replayFactor() + c.fixedPerPass())
+	return ms, nil
+}
+
+// Get returns a collected value, with presence indication.
+func (ms *MetricSet) Get(name string) (float64, bool) {
+	v, ok := ms.Values[name]
+	return v, ok
+}
+
+// MustGet returns a collected value or panics; for report code paths
+// whose metric lists are static.
+func (ms *MetricSet) MustGet(name string) float64 {
+	v, ok := ms.Values[name]
+	if !ok {
+		panic(fmt.Sprintf("ncu: metric %q was not collected", name))
+	}
+	return v
+}
+
+// SortedNames lists the collected metric names, sorted.
+func (ms *MetricSet) SortedNames() []string {
+	out := make([]string, 0, len(ms.Values))
+	for n := range ms.Values {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,174 @@
+// Package ptx provides a PTX-level view of a kernel. The paper performs
+// its atomics analysis (§4.4) on PTX rather than SASS (footnote 2:
+// "Analogously to SASS, a PTX analysis is performed in Section 4.4"), so
+// GPUscout's shared-atomics detector cross-checks against this view.
+//
+// PTX is a virtual-ISA *above* SASS; since our toolchain lowers directly
+// to SASS, this package lifts SASS back into canonical PTX mnemonics —
+// sufficient for the instruction-class and state-space queries GPUscout
+// performs (atom.global vs atom.shared, red, conversions, memory ops).
+package ptx
+
+import (
+	"fmt"
+	"strings"
+
+	"gpuscout/internal/sass"
+)
+
+// Inst is one PTX-level instruction with source attribution.
+type Inst struct {
+	// Text is the canonical PTX mnemonic+operands rendering.
+	Text string
+	// Opcode is the PTX opcode ("atom", "red", "ld", "cvt", ...).
+	Opcode string
+	// Space is the state space for memory ops ("global", "shared",
+	// "local", "const", "tex", "").
+	Space string
+	Line  int
+	PC    uint64 // originating SASS PC
+}
+
+// Module is the PTX view of one kernel.
+type Module struct {
+	Kernel string
+	Insts  []Inst
+}
+
+// Lift produces the PTX view of a SASS kernel.
+func Lift(k *sass.Kernel) *Module {
+	m := &Module{Kernel: k.Name}
+	for i := range k.Insts {
+		in := &k.Insts[i]
+		p, ok := liftInst(in)
+		if !ok {
+			continue
+		}
+		p.Line = in.Line
+		p.PC = in.PC
+		m.Insts = append(m.Insts, p)
+	}
+	return m
+}
+
+func liftInst(in *sass.Inst) (Inst, bool) {
+	typ := ".f32"
+	switch {
+	case in.HasMod("F64") || sass.ClassOf(in.Op) == sass.ClassFP64:
+		typ = ".f64"
+	case in.HasMod("S32"):
+		typ = ".s32"
+	case in.HasMod("U32"):
+		typ = ".u32"
+	}
+	wide := ""
+	switch {
+	case in.HasMod("128"):
+		wide = ".v4"
+	case in.HasMod("64") && sass.IsMemory(in.Op):
+		wide = ".v2"
+	}
+	mk := func(op, space string) (Inst, bool) {
+		text := op
+		if space != "" {
+			text += "." + space
+		}
+		text += wide + typ
+		// The opcode tag is the base mnemonic before any sub-operation
+		// ("atom.add" -> "atom").
+		base := op
+		if dot := strings.IndexByte(op, '.'); dot >= 0 {
+			base = op[:dot]
+		}
+		return Inst{Text: text, Opcode: base, Space: space}, true
+	}
+	switch in.Op {
+	case sass.OpLDG:
+		if in.IsNC() {
+			return mk("ld.global.nc", "")
+		}
+		return mk("ld", "global")
+	case sass.OpSTG:
+		return mk("st", "global")
+	case sass.OpLDS:
+		return mk("ld", "shared")
+	case sass.OpSTS:
+		return mk("st", "shared")
+	case sass.OpLDL:
+		return mk("ld", "local")
+	case sass.OpSTL:
+		return mk("st", "local")
+	case sass.OpLDC:
+		return mk("ld", "const")
+	case sass.OpTEX:
+		return Inst{Text: "tex.2d.v4.f32.s32", Opcode: "tex", Space: "tex"}, true
+	case sass.OpATOM:
+		return Inst{Text: "atom.global." + atomOp(in) + typ, Opcode: "atom", Space: "global"}, true
+	case sass.OpATOMS:
+		return Inst{Text: "atom.shared." + atomOp(in) + typ, Opcode: "atom", Space: "shared"}, true
+	case sass.OpRED:
+		return Inst{Text: "red.global." + atomOp(in) + typ, Opcode: "red", Space: "global"}, true
+	case sass.OpI2F, sass.OpF2I, sass.OpF2F, sass.OpI2I:
+		return Inst{Text: "cvt" + cvtTypes(in), Opcode: "cvt"}, true
+	case sass.OpFFMA, sass.OpDFMA:
+		return Inst{Text: "fma.rn" + typ, Opcode: "fma"}, true
+	case sass.OpIMAD:
+		return Inst{Text: "mad.lo.s32", Opcode: "mad"}, true
+	case sass.OpBAR:
+		return Inst{Text: "bar.sync 0", Opcode: "bar"}, true
+	default:
+		return Inst{}, false
+	}
+}
+
+func atomOp(in *sass.Inst) string {
+	for _, m := range []string{"ADD", "MIN", "MAX", "EXCH"} {
+		if in.HasMod(m) {
+			return strings.ToLower(m)
+		}
+	}
+	return "add"
+}
+
+func cvtTypes(in *sass.Inst) string {
+	if len(in.Mods) >= 2 {
+		return fmt.Sprintf(".%s.%s", strings.ToLower(in.Mods[0]), strings.ToLower(in.Mods[1]))
+	}
+	return ".f32.s32"
+}
+
+// AtomicSummary aggregates §4.4's atomics analysis over the PTX view.
+type AtomicSummary struct {
+	GlobalAtomics []Inst // atom.global + red.global
+	SharedAtomics []Inst // atom.shared
+}
+
+// Atomics extracts the atomic instructions by state space.
+func (m *Module) Atomics() AtomicSummary {
+	var s AtomicSummary
+	for _, in := range m.Insts {
+		switch {
+		case (in.Opcode == "atom" || in.Opcode == "red") && in.Space == "global":
+			s.GlobalAtomics = append(s.GlobalAtomics, in)
+		case in.Opcode == "atom" && in.Space == "shared":
+			s.SharedAtomics = append(s.SharedAtomics, in)
+		}
+	}
+	return s
+}
+
+// Print renders the PTX view as text.
+func (m *Module) Print() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// PTX view of %s\n.visible .entry %s()\n{\n", m.Kernel, m.Kernel)
+	curLine := -1
+	for _, in := range m.Insts {
+		if in.Line != curLine {
+			curLine = in.Line
+			fmt.Fprintf(&b, "\t.loc 1 %d 0\n", in.Line)
+		}
+		fmt.Fprintf(&b, "\t%s;\n", in.Text)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package ptx
+
+import (
+	"strings"
+	"testing"
+
+	"gpuscout/internal/workloads"
+)
+
+func TestLiftHistogram(t *testing.T) {
+	w, err := workloads.Build("histogram_global", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Lift(w.Kernel)
+	if m.Kernel != w.Kernel.Name || len(m.Insts) == 0 {
+		t.Fatalf("empty module: %+v", m)
+	}
+	a := m.Atomics()
+	if len(a.GlobalAtomics) == 0 {
+		t.Fatal("no global atomics lifted (RED must count)")
+	}
+	if len(a.SharedAtomics) != 0 {
+		t.Error("phantom shared atomics")
+	}
+	for _, in := range a.GlobalAtomics {
+		if in.Line == 0 {
+			t.Error("atomic without source line")
+		}
+		if !strings.HasPrefix(in.Text, "red.global") && !strings.HasPrefix(in.Text, "atom.global") {
+			t.Errorf("unexpected text %q", in.Text)
+		}
+	}
+
+	ws, err := workloads.Build("histogram_shared", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := Lift(ws.Kernel).Atomics()
+	if len(as.SharedAtomics) == 0 {
+		t.Error("shared histogram lifted without atom.shared")
+	}
+}
+
+func TestLiftMnemonics(t *testing.T) {
+	w, err := workloads.Build("jacobi_naive", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Lift(w.Kernel)
+	text := m.Print()
+	for _, want := range []string{
+		"ld.global", "st.global", "cvt.f32.s32", "fma.rn.f32", ".loc 1 ",
+		".visible .entry",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("PTX text missing %q", want)
+		}
+	}
+	// The naive jacobi has no shared or texture ops.
+	if strings.Contains(text, "ld.shared") || strings.Contains(text, "tex.2d") {
+		t.Error("phantom shared/texture ops in naive jacobi PTX")
+	}
+
+	wt, err := workloads.Build("jacobi_texture", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Lift(wt.Kernel).Print(), "tex.2d") {
+		t.Error("texture variant PTX lacks tex.2d")
+	}
+
+	wv, err := workloads.Build("mixbench_sp_vec4", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Lift(wv.Kernel).Print(), "ld.global.v4.f32") {
+		t.Error("vectorized loads not lifted as .v4")
+	}
+}

@@ -1,0 +1,210 @@
+package sass
+
+import (
+	"testing"
+)
+
+// loopKernel builds a kernel with a counted loop:
+//
+//	i = 0
+//	loop:  body (load, fma) ; i++ ; if i < n goto loop
+//	exit
+func loopKernel() *Kernel {
+	k := &Kernel{Name: "_Zloop", Arch: "sm_70", NumRegs: 16, SourceFile: "l.cu"}
+	ctrl := DefaultCtrl()
+	k.Insts = []Inst{
+		/* 0 */ {Op: OpMOV, Dst: []Operand{R(0)}, Src: []Operand{Imm(0)}, Ctrl: ctrl, Line: 1},
+		/* 1 */ {Op: OpMOV, Dst: []Operand{R(6)}, Src: []Operand{Imm(0)}, Ctrl: ctrl, Line: 1},
+		// loop header/body:
+		/* 2 */ {Op: OpLDG, Mods: []string{"E", "SYS"}, Dst: []Operand{R(4)}, Src: []Operand{Mem(2, 0)}, Ctrl: ctrl, Line: 2},
+		/* 3 */ {Op: OpFFMA, Dst: []Operand{R(6)}, Src: []Operand{R(4), R(4), R(6)}, Ctrl: ctrl, Line: 3},
+		/* 4 */ {Op: OpIADD3, Dst: []Operand{R(0)}, Src: []Operand{R(0), Imm(1), R(Reg(255))}, Ctrl: ctrl, Line: 4},
+		/* 5 */ {Op: OpISETP, Mods: []string{"LT", "AND"}, Dst: []Operand{P(0), P(PT)},
+			Src: []Operand{R(0), Const(0, 0x160), P(PT)}, Ctrl: ctrl, Line: 4},
+		/* 6 */ {Op: OpBRA, Pred: 0, Target: 2 * InstBytes, Ctrl: ctrl, Line: 4},
+		/* 7 */ {Op: OpSTG, Mods: []string{"E", "SYS"}, Dst: []Operand{Mem(8, 0)}, Src: []Operand{R(6)}, Ctrl: ctrl, Line: 5},
+		/* 8 */ {Op: OpEXIT, Ctrl: ctrl, Line: 6},
+	}
+	for i := range k.Insts {
+		if k.Insts[i].Pred == 0 && k.Insts[i].Op != OpBRA {
+			k.Insts[i].Pred = PT
+		}
+	}
+	k.RenumberPCs()
+	return k
+}
+
+// diamondKernel builds an if/else diamond:
+//
+//	isetp ; @!P0 bra else ; then: ... bra join ; else: ... ; join: exit
+func diamondKernel() *Kernel {
+	k := &Kernel{Name: "_Zdiamond", Arch: "sm_70", NumRegs: 16, SourceFile: "d.cu"}
+	ctrl := DefaultCtrl()
+	k.Insts = []Inst{
+		/* 0 */ {Op: OpISETP, Mods: []string{"LT", "AND"}, Dst: []Operand{P(0), P(PT)},
+			Src: []Operand{R(0), Imm(10), P(PT)}, Ctrl: ctrl, Line: 1},
+		/* 1 */ {Op: OpBRA, Pred: 0, PredNeg: true, Target: 4 * InstBytes, Ctrl: ctrl, Line: 1},
+		/* 2 */ {Op: OpMOV, Dst: []Operand{R(1)}, Src: []Operand{Imm(1)}, Ctrl: ctrl, Line: 2},
+		/* 3 */ {Op: OpBRA, Target: 5 * InstBytes, Ctrl: ctrl, Line: 2},
+		/* 4 */ {Op: OpMOV, Dst: []Operand{R(1)}, Src: []Operand{Imm(2)}, Ctrl: ctrl, Line: 3},
+		/* 5 */ {Op: OpEXIT, Ctrl: ctrl, Line: 4},
+	}
+	for i := range k.Insts {
+		if k.Insts[i].Pred == 0 && k.Insts[i].Op != OpBRA {
+			k.Insts[i].Pred = PT
+		}
+	}
+	// Instruction 1 is a conditional branch and must keep Pred=P0.
+	k.Insts[1].Pred = 0
+	k.RenumberPCs()
+	return k
+}
+
+func TestCFGLoop(t *testing.T) {
+	k := loopKernel()
+	cfg, err := BuildCFG(k)
+	if err != nil {
+		t.Fatalf("BuildCFG: %v", err)
+	}
+	// Blocks: [0,2) preheader, [2,7) loop, [7,9) tail.
+	if len(cfg.Blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3: %+v", len(cfg.Blocks), cfg.Blocks)
+	}
+	if len(cfg.Loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(cfg.Loops))
+	}
+	loop := cfg.Loops[0]
+	if cfg.Blocks[loop.Header].Start != 2 {
+		t.Errorf("loop header starts at inst %d, want 2", cfg.Blocks[loop.Header].Start)
+	}
+	for i := 2; i <= 6; i++ {
+		if !cfg.InLoop(i) {
+			t.Errorf("inst %d should be in loop", i)
+		}
+	}
+	for _, i := range []int{0, 1, 7, 8} {
+		if cfg.InLoop(i) {
+			t.Errorf("inst %d should not be in loop", i)
+		}
+	}
+	if d := cfg.LoopDepth(3); d != 1 {
+		t.Errorf("LoopDepth(3) = %d, want 1", d)
+	}
+}
+
+func TestCFGDiamondPostDominators(t *testing.T) {
+	k := diamondKernel()
+	cfg, err := BuildCFG(k)
+	if err != nil {
+		t.Fatalf("BuildCFG: %v", err)
+	}
+	if len(cfg.Blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4", len(cfg.Blocks))
+	}
+	// The branch at instruction 1 reconverges at the join block (inst 5).
+	pc, ok := cfg.IPDomPC(1)
+	if !ok {
+		t.Fatal("IPDomPC: branch block has no post-dominator")
+	}
+	if pc != 5*InstBytes {
+		t.Errorf("IPDomPC = %#x, want %#x", pc, uint64(5*InstBytes))
+	}
+	if len(cfg.Loops) != 0 {
+		t.Errorf("diamond should have no loops, got %d", len(cfg.Loops))
+	}
+	// Straight-line blocks know their containing block.
+	if cfg.BlockOf(0) != 0 || cfg.BlockOf(5) != 3 {
+		t.Errorf("BlockOf wrong: %d %d", cfg.BlockOf(0), cfg.BlockOf(5))
+	}
+}
+
+func TestCFGBadBranch(t *testing.T) {
+	k := loopKernel()
+	k.Insts[6].Target = 1 << 20
+	if _, err := BuildCFG(k); err == nil {
+		t.Error("BuildCFG accepted out-of-range branch target")
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	k := loopKernel()
+	cfg, err := BuildCFG(k)
+	if err != nil {
+		t.Fatalf("BuildCFG: %v", err)
+	}
+	lv := ComputeLiveness(cfg)
+
+	// R6 (the accumulator) is live across the loop: after the FFMA at
+	// inst 3 it must be live (used by next iteration and the STG).
+	if !lv.LiveAt(6, 3) {
+		t.Error("accumulator R6 should be live after inst 3")
+	}
+	// The loaded value R4 dies after its single use in inst 3.
+	if lv.LiveAt(4, 3) {
+		t.Error("R4 should be dead after its last use at inst 3")
+	}
+	// The address pair R2,R3 is live inside the loop (used by the LDG each
+	// iteration via the back edge).
+	if !lv.LiveAt(2, 3) || !lv.LiveAt(3, 3) {
+		t.Error("address pair R2,R3 should be live inside the loop")
+	}
+	// Pressure is positive inside the loop and bounded by NumRegs.
+	max, at := lv.MaxPressure()
+	if max <= 0 || max > k.NumRegs {
+		t.Errorf("MaxPressure = %d at %d", max, at)
+	}
+	// The LDG defines a new value: it should report extra registers > 0
+	// (R4 becomes live).
+	if lv.ExtraRegs(2) < 1 {
+		t.Errorf("ExtraRegs(LDG) = %d, want >= 1", lv.ExtraRegs(2))
+	}
+}
+
+func TestDefUse(t *testing.T) {
+	k := loopKernel()
+	du := ComputeDefUse(k)
+
+	// R6 is defined at insts 1 (MOV) and 3 (FFMA).
+	if len(du.Defs[6]) != 2 {
+		t.Errorf("Defs[R6] = %v, want 2 defs", du.Defs[6])
+	}
+	// Last def of R6 before the STG at inst 7 is the FFMA at inst 3.
+	if got := du.LastDefBefore(6, 7); got != 3 {
+		t.Errorf("LastDefBefore(R6, 7) = %d, want 3", got)
+	}
+	if got := du.LastDefBefore(6, 2); got != 1 {
+		t.Errorf("LastDefBefore(R6, 2) = %d, want 1", got)
+	}
+	if got := du.LastDefBefore(99, 5); got != -1 {
+		t.Errorf("LastDefBefore(unwritten reg) = %d, want -1", got)
+	}
+
+	// R2 (load base) is never written: read-only.
+	if !du.IsReadOnly(2) {
+		t.Error("R2 should be read-only")
+	}
+	// R6 is written twice: not read-only.
+	if du.IsReadOnly(6) {
+		t.Error("R6 should not be read-only")
+	}
+
+	// Pointer R2 is only loaded through; pointer R8 is stored through.
+	if du.PointerStoredThrough(2) {
+		t.Error("R2 pair should not be stored through")
+	}
+	if !du.PointerStoredThrough(8) {
+		t.Error("R8 pair should be stored through")
+	}
+
+	// R4 feeds one arithmetic instruction (the FFMA reads it twice, but
+	// instruction-wise it is one arith user; ArithUseCount counts reads).
+	if got := du.ArithUseCount(4); got != 2 {
+		t.Errorf("ArithUseCount(R4) = %d, want 2 (two reads by FFMA)", got)
+	}
+	if du.UseCount(4) != 2 {
+		t.Errorf("UseCount(R4) = %d", du.UseCount(4))
+	}
+	if du.ArithUseCount(RZ) != 0 || du.UseCount(RZ) != 0 || !du.IsReadOnly(RZ) {
+		t.Error("RZ must be inert in def-use queries")
+	}
+}

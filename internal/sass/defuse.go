@@ -1,0 +1,158 @@
+package sass
+
+// DefUse indexes, per architectural register, where it is defined (written)
+// and used (read). Several detectors rely on it:
+//
+//   - §4.2 register spilling asks "which instruction last wrote the spilled
+//     register before the STL" to name the operation that caused the spill;
+//   - §4.5 read-only cache asks whether a register (or the memory reachable
+//     from a pointer register pair) is read-only throughout the kernel;
+//   - §4.3 shared memory counts arithmetic uses of loaded registers.
+type DefUse struct {
+	Kernel *Kernel
+	// Defs[r] / Uses[r] list instruction indices in program order.
+	Defs [NumArchRegs][]int
+	Uses [NumArchRegs][]int
+}
+
+// ComputeDefUse builds the def-use index for a kernel.
+func ComputeDefUse(k *Kernel) *DefUse {
+	du := &DefUse{Kernel: k}
+	var scratch []Reg
+	for i := range k.Insts {
+		in := &k.Insts[i]
+		for _, r := range in.DstRegs(scratch[:0]) {
+			if r != RZ {
+				du.Defs[r] = append(du.Defs[r], i)
+			}
+		}
+		for _, r := range in.SrcRegs(scratch[:0]) {
+			if r != RZ {
+				du.Uses[r] = append(du.Uses[r], i)
+			}
+		}
+	}
+	return du
+}
+
+// LastDefBefore returns the index of the last instruction before index i
+// (in program order) that writes register r, or -1. This is the paper's
+// "the previous SASS instruction executed by the register" that is blamed
+// for a spill (§3.2).
+func (du *DefUse) LastDefBefore(r Reg, i int) int {
+	if r == RZ {
+		return -1
+	}
+	defs := du.Defs[r]
+	last := -1
+	for _, d := range defs {
+		if d >= i {
+			break
+		}
+		last = d
+	}
+	return last
+}
+
+// IsReadOnly reports whether register r is written at most once (its
+// initializing definition) and only ever read afterwards — the paper's
+// "read-only throughout the kernel" property used by the __restrict__
+// recommendation (§4.5). Registers with zero defs (kernel inputs via
+// constant bank go through MOV/LDC, so this is rare) count as read-only.
+func (du *DefUse) IsReadOnly(r Reg) bool {
+	if r == RZ {
+		return true
+	}
+	return len(du.Defs[r]) <= 1
+}
+
+// PointerStoredThrough reports whether any store or atomic instruction
+// uses register pair (base, base+1) as its memory address — i.e. whether
+// the pointer held in that pair is ever written through. Pointers never
+// stored through are candidates for const __restrict__ (§4.5) and for
+// the texture path (§4.6).
+func (du *DefUse) PointerStoredThrough(base Reg) bool {
+	k := du.Kernel
+	for i := range k.Insts {
+		in := &k.Insts[i]
+		switch in.Op {
+		case OpSTG, OpSTS, OpSTL, OpATOM, OpATOMS, OpRED:
+			if m, ok := in.MemOperand(); ok && m.Reg == base {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PointerStoredThroughAt is the version-aware form of
+// PointerStoredThrough: physical registers are reused by the allocator,
+// so a store through the same register only aliases the pointer a load at
+// loadIdx uses when both see the same reaching definition of the base.
+func (du *DefUse) PointerStoredThroughAt(base Reg, loadIdx int) bool {
+	k := du.Kernel
+	ver := du.LastDefBefore(base, loadIdx)
+	for i := range k.Insts {
+		in := &k.Insts[i]
+		switch in.Op {
+		case OpSTG, OpSTS, OpSTL, OpATOM, OpATOMS, OpRED:
+			if m, ok := in.MemOperand(); ok && m.Reg == base &&
+				du.LastDefBefore(base, i) == ver {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// UseLinesAfter returns the source lines of instructions that read
+// register r at or after instruction index i, before r is redefined.
+// GPUscout uses this to widen stall correlation to the consumers of a
+// flagged load (stalls surface at the dependent instruction).
+func (du *DefUse) UseLinesAfter(r Reg, i int) []int {
+	if r == RZ {
+		return nil
+	}
+	k := du.Kernel
+	// Find the next redefinition after i.
+	next := len(k.Insts)
+	for _, d := range du.Defs[r] {
+		if d > i {
+			next = d
+			break
+		}
+	}
+	var lines []int
+	for _, u := range du.Uses[r] {
+		if u > i && u <= next {
+			if l := k.Insts[u].Line; l > 0 {
+				lines = append(lines, l)
+			}
+		}
+	}
+	return lines
+}
+
+// ArithUseCount returns how many arithmetic instructions read register r
+// (the Fig. 4 "arithmetic instruction count" on a loaded register).
+func (du *DefUse) ArithUseCount(r Reg) int {
+	if r == RZ {
+		return 0
+	}
+	n := 0
+	k := du.Kernel
+	for _, u := range du.Uses[r] {
+		if IsArith(k.Insts[u].Op) {
+			n++
+		}
+	}
+	return n
+}
+
+// UseCount returns the total number of reads of register r.
+func (du *DefUse) UseCount(r Reg) int {
+	if r == RZ {
+		return 0
+	}
+	return len(du.Uses[r])
+}

@@ -1,0 +1,412 @@
+package sass
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a parse failure with its 1-based text line number.
+type ParseError struct {
+	TextLine int
+	Msg      string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sass: line %d: %s", e.TextLine, e.Msg)
+}
+
+// numDsts returns how many leading operands of the opcode are destinations.
+func numDsts(op Opcode) int {
+	switch op {
+	case OpSTG, OpSTS, OpSTL, OpRED:
+		return 1 // the memory operand
+	case OpATOM, OpATOMS:
+		return 2 // return register + memory operand
+	case OpISETP, OpFSETP, OpDSETP:
+		return 2 // predicate pair
+	case OpBRA, OpEXIT, OpBAR, OpNOP, OpRET, OpMEMBAR:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// Parse reads the text format produced by Print and reconstructs the
+// kernel. It is the GPUscout "Configuration" stage's disassembler
+// ingestion path: the static analysis never needs the CUDA source.
+func Parse(text string) (*Kernel, error) {
+	k := &Kernel{}
+	curLine, curFile := 0, ""
+	sawHeader := false
+	for ln, raw := range strings.Split(text, "\n") {
+		textLine := ln + 1
+		s := strings.TrimSpace(raw)
+		if s == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(s, ".kernel "):
+			if err := parseHeader(k, s); err != nil {
+				return nil, &ParseError{textLine, err.Error()}
+			}
+			sawHeader = true
+		case strings.HasPrefix(s, ".file "):
+			f, err := strconv.Unquote(strings.TrimSpace(strings.TrimPrefix(s, ".file")))
+			if err != nil {
+				return nil, &ParseError{textLine, "bad .file directive: " + err.Error()}
+			}
+			k.SourceFile = f
+		case strings.HasPrefix(s, "//## File "):
+			file, line, err := parseLineMarker(s)
+			if err != nil {
+				return nil, &ParseError{textLine, err.Error()}
+			}
+			curFile, curLine = file, line
+		case strings.HasPrefix(s, "//"):
+			// Plain comment.
+		case strings.HasPrefix(s, "/*"):
+			in, err := parseInst(s)
+			if err != nil {
+				return nil, &ParseError{textLine, err.Error()}
+			}
+			in.Line = curLine
+			if curFile != k.SourceFile {
+				in.File = curFile
+			}
+			k.Insts = append(k.Insts, in)
+		default:
+			return nil, &ParseError{textLine, fmt.Sprintf("unrecognized line %q", s)}
+		}
+	}
+	if !sawHeader {
+		return nil, &ParseError{0, "missing .kernel header"}
+	}
+	return k, nil
+}
+
+func parseHeader(k *Kernel, s string) error {
+	fields := strings.Fields(s)
+	if len(fields) < 3 {
+		return fmt.Errorf("malformed .kernel header %q", s)
+	}
+	k.Name = fields[1]
+	k.Arch = fields[2]
+	for _, f := range fields[3:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("malformed header field %q", f)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("header field %q: %v", f, err)
+		}
+		switch key {
+		case "regs":
+			k.NumRegs = n
+		case "shared":
+			k.SharedBytes = n
+		case "local":
+			k.LocalBytes = n
+		case "const":
+			k.ConstBytes = n
+		default:
+			return fmt.Errorf("unknown header field %q", key)
+		}
+	}
+	return nil
+}
+
+func parseLineMarker(s string) (file string, line int, err error) {
+	// //## File "sgemm.cu", line 12
+	rest := strings.TrimPrefix(s, "//## File ")
+	end := strings.LastIndex(rest, `", line `)
+	if !strings.HasPrefix(rest, `"`) || end < 0 {
+		return "", 0, fmt.Errorf("malformed line marker %q", s)
+	}
+	file = rest[1:end]
+	line, err = strconv.Atoi(strings.TrimSpace(rest[end+len(`", line `):]))
+	if err != nil {
+		return "", 0, fmt.Errorf("malformed line marker %q: %v", s, err)
+	}
+	return file, line, nil
+}
+
+func parseInst(s string) (Inst, error) {
+	in := Inst{Pred: PT, Ctrl: DefaultCtrl()}
+
+	// /*PC*/ prefix.
+	if !strings.HasPrefix(s, "/*") {
+		return in, fmt.Errorf("missing PC comment in %q", s)
+	}
+	close := strings.Index(s, "*/")
+	if close < 0 {
+		return in, fmt.Errorf("unterminated PC comment in %q", s)
+	}
+	pc, err := strconv.ParseUint(strings.TrimSpace(s[2:close]), 16, 64)
+	if err != nil {
+		return in, fmt.Errorf("bad PC in %q: %v", s, err)
+	}
+	in.PC = pc
+	s = strings.TrimSpace(s[close+2:])
+
+	// Control info suffix after ';'.
+	body, ctrl, found := strings.Cut(s, ";")
+	if !found {
+		return in, fmt.Errorf("missing ';' in %q", s)
+	}
+	ctrl = strings.TrimSpace(ctrl)
+	if ctrl != "" {
+		c, err := parseCtrl(ctrl)
+		if err != nil {
+			return in, err
+		}
+		in.Ctrl = c
+	}
+	body = strings.TrimSpace(body)
+
+	// Guard predicate.
+	if strings.HasPrefix(body, "@") {
+		guard, rest, ok := strings.Cut(body, " ")
+		if !ok {
+			return in, fmt.Errorf("guarded instruction with no opcode: %q", body)
+		}
+		g := strings.TrimPrefix(guard, "@")
+		if strings.HasPrefix(g, "!") {
+			in.PredNeg = true
+			g = g[1:]
+		}
+		p, err := parsePredName(g)
+		if err != nil {
+			return in, err
+		}
+		in.Pred = p
+		body = strings.TrimSpace(rest)
+	}
+
+	// Mnemonic.
+	mnem, operands, _ := strings.Cut(body, " ")
+	parts := strings.Split(mnem, ".")
+	op, ok := OpcodeByName(parts[0])
+	if !ok {
+		return in, fmt.Errorf("unknown opcode %q", parts[0])
+	}
+	in.Op = op
+	if len(parts) > 1 {
+		in.Mods = parts[1:]
+	}
+
+	// Operands.
+	operands = strings.TrimSpace(operands)
+	var opds []Operand
+	if operands != "" {
+		for _, tok := range splitOperands(operands) {
+			o, err := parseOperand(tok)
+			if err != nil {
+				return in, err
+			}
+			opds = append(opds, o)
+		}
+	}
+	if op == OpBRA {
+		if len(opds) == 0 || opds[len(opds)-1].Kind != OpdImm {
+			return in, fmt.Errorf("BRA without target in %q", body)
+		}
+		in.Target = uint64(opds[len(opds)-1].Imm)
+		opds = opds[:len(opds)-1]
+	}
+	nd := numDsts(op)
+	if nd > len(opds) {
+		nd = len(opds)
+	}
+	if nd > 0 {
+		in.Dst = opds[:nd:nd]
+	}
+	if nd < len(opds) {
+		in.Src = opds[nd:]
+	}
+	return in, nil
+}
+
+func splitOperands(s string) []string {
+	// Commas never nest in our operand grammar except inside c[..][..]
+	// (none) — a flat split suffices.
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parsePredName(s string) (Pred, error) {
+	if s == "PT" {
+		return PT, nil
+	}
+	if strings.HasPrefix(s, "P") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < NumPreds {
+			return Pred(n), nil
+		}
+	}
+	return PT, fmt.Errorf("bad predicate %q", s)
+}
+
+func parseRegName(s string) (Reg, error) {
+	if s == "RZ" {
+		return RZ, nil
+	}
+	if strings.HasPrefix(s, "R") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < NumArchRegs {
+			return Reg(n), nil
+		}
+	}
+	return RZ, fmt.Errorf("bad register %q", s)
+}
+
+func parseHexImm(s string) (int64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q: %v", s, err)
+	}
+	iv := int64(v)
+	if neg {
+		iv = -iv
+	}
+	return iv, nil
+}
+
+func parseOperand(tok string) (Operand, error) {
+	switch {
+	case tok == "":
+		return Operand{}, fmt.Errorf("empty operand")
+	case strings.HasPrefix(tok, "["):
+		if !strings.HasSuffix(tok, "]") {
+			return Operand{}, fmt.Errorf("unterminated memory operand %q", tok)
+		}
+		inner := tok[1 : len(tok)-1]
+		base, off, hasOff := strings.Cut(inner, "+")
+		r, err := parseRegName(strings.TrimSpace(base))
+		if err != nil {
+			return Operand{}, err
+		}
+		var imm int64
+		if hasOff {
+			imm, err = parseHexImm(strings.TrimSpace(off))
+			if err != nil {
+				return Operand{}, err
+			}
+		}
+		return Mem(r, imm), nil
+	case strings.HasPrefix(tok, "c["):
+		// c[0xB][0xOFF]
+		var bank, off int64
+		rest := tok[2:]
+		end := strings.Index(rest, "]")
+		if end < 0 {
+			return Operand{}, fmt.Errorf("bad constant operand %q", tok)
+		}
+		bank, err := parseHexImm(rest[:end])
+		if err != nil {
+			return Operand{}, err
+		}
+		rest = rest[end+1:]
+		if !strings.HasPrefix(rest, "[") || !strings.HasSuffix(rest, "]") {
+			return Operand{}, fmt.Errorf("bad constant operand %q", tok)
+		}
+		off, err = parseHexImm(rest[1 : len(rest)-1])
+		if err != nil {
+			return Operand{}, err
+		}
+		return Const(int(bank), off), nil
+	case strings.HasPrefix(tok, "SR_"):
+		sr, ok := SpecialRegByName(tok)
+		if !ok {
+			return Operand{}, fmt.Errorf("unknown special register %q", tok)
+		}
+		return SR(sr), nil
+	case tok == "PT" || tok == "!PT" || (len(tok) >= 2 && (tok[0] == 'P' || strings.HasPrefix(tok, "!P")) && !strings.HasPrefix(tok, "PR")):
+		neg := strings.HasPrefix(tok, "!")
+		p, err := parsePredName(strings.TrimPrefix(tok, "!"))
+		if err != nil {
+			return Operand{}, err
+		}
+		o := P(p)
+		o.Neg = neg
+		return o, nil
+	case tok == "RZ" || strings.HasPrefix(tok, "R") || strings.HasPrefix(tok, "-R"):
+		neg := strings.HasPrefix(tok, "-")
+		r, err := parseRegName(strings.TrimPrefix(tok, "-"))
+		if err != nil {
+			return Operand{}, err
+		}
+		o := R(r)
+		o.Neg = neg
+		return o, nil
+	default:
+		imm, err := parseHexImm(tok)
+		if err != nil {
+			return Operand{}, err
+		}
+		return Imm(imm), nil
+	}
+}
+
+func parseCtrl(s string) (Ctrl, error) {
+	c := DefaultCtrl()
+	if !strings.HasPrefix(s, "&") {
+		return c, fmt.Errorf("malformed control info %q", s)
+	}
+	for _, f := range strings.Fields(strings.TrimPrefix(s, "&")) {
+		if f == "Y" {
+			c.Yield = true
+			continue
+		}
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return c, fmt.Errorf("malformed control field %q", f)
+		}
+		switch key {
+		case "wr", "rd":
+			bar := NoBar
+			if val != "-" {
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 || n > 5 {
+					return c, fmt.Errorf("bad scoreboard slot %q", f)
+				}
+				bar = int8(n)
+			}
+			if key == "wr" {
+				c.WrBar = bar
+			} else {
+				c.RdBar = bar
+			}
+		case "wt":
+			v, err := parseHexImm(val)
+			if err != nil || v < 0 || v > 0x3f {
+				return c, fmt.Errorf("bad wait mask %q", f)
+			}
+			c.WaitMask = uint8(v)
+		case "st":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 || n > 15 {
+				return c, fmt.Errorf("bad stall count %q", f)
+			}
+			c.Stall = uint8(n)
+		default:
+			return c, fmt.Errorf("unknown control field %q", f)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,59 @@
+package sass
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the kernel in the nvdisasm-like text format understood by
+// Parse. The format includes a ".kernel" resource header, "//## File"
+// line-info markers (as produced by nvdisasm --print-line-info for
+// binaries compiled with -g --generate-line-info), and per-instruction
+// control information after the ";".
+func Print(k *Kernel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\t.kernel %s %s regs=%d shared=%d local=%d const=%d\n",
+		k.Name, k.Arch, k.NumRegs, k.SharedBytes, k.LocalBytes, k.ConstBytes)
+	if k.SourceFile != "" {
+		fmt.Fprintf(&b, "\t.file %q\n", k.SourceFile)
+	}
+	curLine, curFile := -1, ""
+	for i := range k.Insts {
+		in := &k.Insts[i]
+		if in.Line != curLine || in.File != curFile {
+			curLine, curFile = in.Line, in.File
+			file := in.File
+			if file == "" {
+				file = k.SourceFile
+			}
+			fmt.Fprintf(&b, "\t//## File %q, line %d\n", file, in.Line)
+		}
+		b.WriteString("\t")
+		b.WriteString(in.String())
+		b.WriteString("  ")
+		b.WriteString(formatCtrl(in.Ctrl))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func formatCtrl(c Ctrl) string {
+	var b strings.Builder
+	b.WriteString("& wr=")
+	writeBar(&b, c.WrBar)
+	b.WriteString(" rd=")
+	writeBar(&b, c.RdBar)
+	fmt.Fprintf(&b, " wt=0x%x st=%d", c.WaitMask, c.Stall)
+	if c.Yield {
+		b.WriteString(" Y")
+	}
+	return b.String()
+}
+
+func writeBar(b *strings.Builder, bar int8) {
+	if bar == NoBar {
+		b.WriteString("-")
+	} else {
+		fmt.Fprintf(b, "%d", bar)
+	}
+}

@@ -1,0 +1,46 @@
+package scout
+
+import (
+	"strings"
+	"testing"
+
+	"gpuscout/internal/sim"
+)
+
+func TestBankConflictDetector(t *testing.T) {
+	// The unpadded transpose tile read strides threadIdx.x by 128 bytes:
+	// a statically predictable 32-way conflict.
+	rep := analyzeWorkload(t, "transpose_shared", 128, Options{Sim: sim.Config{SampleSMs: 1}})
+	m := findingsByAnalysis(rep)
+	bc := m["bank_conflicts"]
+	if len(bc) == 0 {
+		t.Fatal("bank_conflicts did not fire on the unpadded transpose")
+	}
+	f := bc[0]
+	if f.PrimaryLine() != 10 {
+		t.Errorf("finding points at line %d, want 10 (the column read)", f.PrimaryLine())
+	}
+	if !strings.Contains(f.Sites[0].Note, "32-way") {
+		t.Errorf("note lacks the predicted conflict degree: %q", f.Sites[0].Note)
+	}
+	// The runtime §4.3 ratio confirms the static prediction.
+	joined := strings.Join(f.MetricSummary, "\n")
+	if !strings.Contains(joined, "32.00-way") && !strings.Contains(joined, "= 32.0") {
+		t.Errorf("metric summary lacks the measured 32-way ratio:\n%s", joined)
+	}
+	if f.Severity < SeverityWarning {
+		t.Errorf("severity = %v, want >= WARNING (conflicts dominate)", f.Severity)
+	}
+
+	// The padded tile is clean.
+	repP := analyzeWorkload(t, "transpose_padded", 128, Options{Sim: sim.Config{SampleSMs: 1}})
+	if got := findingsByAnalysis(repP)["bank_conflicts"]; len(got) != 0 {
+		t.Errorf("bank_conflicts fired on the padded tile: %+v", got[0].Sites)
+	}
+
+	// Row-wise shared access in SGEMM is also clean (threadIdx.y stride).
+	repS := analyzeWorkload(t, "sgemm_shared", 64, Options{Sim: sim.Config{SampleSMs: 1}})
+	if got := findingsByAnalysis(repS)["bank_conflicts"]; len(got) != 0 {
+		t.Errorf("bank_conflicts false positive on sgemm_shared: %+v", got[0].Sites)
+	}
+}

@@ -1,0 +1,98 @@
+package scout
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gpuscout/internal/ncu"
+)
+
+// Comparison is the "Metrics Comparison" view the paper sketches as
+// future work (Fig. 7): after the user modifies the kernel, GPUscout
+// shows how each watched metric rose or fell versus the previous run.
+type Comparison struct {
+	KernelOld, KernelNew string
+	Rows                 []ComparisonRow
+	// SpeedupX is old duration / new duration.
+	SpeedupX float64
+}
+
+// ComparisonRow is one metric's old-vs-new pair.
+type ComparisonRow struct {
+	Metric   string
+	Unit     string
+	Old, New float64
+}
+
+// Delta returns the relative change in percent (new vs old).
+func (r ComparisonRow) Delta() float64 {
+	if r.Old == 0 {
+		if r.New == 0 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * (r.New - r.Old) / r.Old
+}
+
+// Compare builds the old-vs-new metric comparison across two reports
+// (typically: before and after applying a recommendation). Only metrics
+// present in both reports are compared.
+func Compare(oldRep, newRep *Report) (*Comparison, error) {
+	if oldRep.Metrics == nil || newRep.Metrics == nil {
+		return nil, fmt.Errorf("scout: comparison requires non-dry-run reports")
+	}
+	c := &Comparison{KernelOld: oldRep.Kernel, KernelNew: newRep.Kernel}
+	var names []string
+	for n := range oldRep.Metrics.Values {
+		if _, ok := newRep.Metrics.Get(n); ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		unit := ""
+		if m, ok := ncu.Lookup(n); ok {
+			unit = m.Unit
+		}
+		c.Rows = append(c.Rows, ComparisonRow{
+			Metric: n,
+			Unit:   unit,
+			Old:    oldRep.Metrics.Values[n],
+			New:    newRep.Metrics.Values[n],
+		})
+	}
+	if oldC, newC := oldRep.KernelCycles, newRep.KernelCycles; oldC > 0 && newC > 0 {
+		c.SpeedupX = oldC / newC
+	}
+	return c, nil
+}
+
+// Render prints the comparison as a table with rise/fall arrows.
+func (c *Comparison) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Metrics comparison: %s (old) vs %s (new)\n", c.KernelOld, c.KernelNew)
+	if c.SpeedupX > 0 {
+		fmt.Fprintf(&b, "Kernel duration change: %.2fx %s\n", c.SpeedupX, speedWord(c.SpeedupX))
+	}
+	fmt.Fprintf(&b, "%-58s %14s %14s %9s\n", "metric", "old", "new", "delta")
+	for _, r := range c.Rows {
+		arrow := "  "
+		switch {
+		case r.New > r.Old*1.0001:
+			arrow = "^ "
+		case r.New < r.Old*0.9999:
+			arrow = "v "
+		}
+		fmt.Fprintf(&b, "%-58s %14.6g %14.6g %s%+7.1f%%\n", r.Metric, r.Old, r.New, arrow, r.Delta())
+	}
+	return b.String()
+}
+
+func speedWord(x float64) string {
+	if x >= 1 {
+		return "faster"
+	}
+	return "slower"
+}

@@ -1,0 +1,56 @@
+package scout
+
+import (
+	"fmt"
+
+	"gpuscout/internal/sass"
+	"gpuscout/internal/sim"
+)
+
+// DtypeConvAnalysis implements §4.7: datatype conversions (F2F, I2F, F2I,
+// I2I) are expensive on GPUs — they increase the instruction count and can
+// occupy several pipelines. The analysis reports the total count and each
+// conversion's source line.
+type DtypeConvAnalysis struct{}
+
+// Name implements Analysis.
+func (DtypeConvAnalysis) Name() string { return "datatype_conversion" }
+
+// Detect implements Analysis.
+func (DtypeConvAnalysis) Detect(v *KernelView) []Finding {
+	k := v.Kernel
+	var sites []Site
+	counts := map[sass.Opcode]int{}
+	inLoop := false
+	for i := range k.Insts {
+		in := &k.Insts[i]
+		if !sass.IsConversion(in.Op) {
+			continue
+		}
+		counts[in.Op]++
+		note := in.Mnemonic() + " conversion"
+		if v.CFG.InLoop(i) {
+			inLoop = true
+			note += "; inside a for-loop"
+		}
+		sites = append(sites, v.site(i, note))
+	}
+	if len(sites) == 0 {
+		return nil
+	}
+	f := Finding{
+		Analysis: "datatype_conversion",
+		Title:    "Datatype conversions detected",
+		Problem: fmt.Sprintf(
+			"%d datatype conversion(s): %d I2F, %d F2I, %d F2F, %d I2I — each costs extra instructions and pipeline utilization",
+			len(sites), counts[sass.OpI2F], counts[sass.OpF2I], counts[sass.OpF2F], counts[sass.OpI2I]),
+		Recommendation: "avoid mixing datatypes where feasible (match literal types, keep loop indices out of floating-point expressions); some conversions are inherent to the algorithm and cannot be removed",
+		Sites:          sites,
+		InLoop:         inLoop,
+		RelevantStalls: []sim.Stall{sim.StallWait, sim.StallMathPipeThrottle},
+		RelevantMetrics: []string{
+			"smsp__inst_executed.sum",
+		},
+	}
+	return []Finding{f}
+}

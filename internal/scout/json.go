@@ -1,0 +1,126 @@
+package scout
+
+import (
+	"encoding/json"
+
+	"gpuscout/internal/sim"
+)
+
+// JSONReport is the machine-readable form of a Report: everything a
+// frontend (the paper's planned visualization, Fig. 7) needs, without the
+// internal simulator state.
+type JSONReport struct {
+	Kernel   string        `json:"kernel"`
+	Arch     string        `json:"arch"`
+	DryRun   bool          `json:"dry_run"`
+	Findings []JSONFinding `json:"findings"`
+
+	// Dynamic data (omitted on dry runs).
+	KernelCycles float64            `json:"kernel_cycles,omitempty"`
+	Occupancy    float64            `json:"achieved_occupancy,omitempty"`
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
+	StallShares  map[string]float64 `json:"stall_shares,omitempty"`
+	HottestLines []JSONLineHeat     `json:"hottest_lines,omitempty"`
+
+	OverheadCycles *JSONOverhead `json:"overhead_cycles,omitempty"`
+}
+
+// JSONFinding mirrors Finding.
+type JSONFinding struct {
+	Analysis       string     `json:"analysis"`
+	Severity       string     `json:"severity"`
+	Title          string     `json:"title"`
+	Problem        string     `json:"problem"`
+	Recommendation string     `json:"recommendation"`
+	InLoop         bool       `json:"in_loop"`
+	Sites          []JSONSite `json:"sites"`
+	StallSummary   []string   `json:"stall_summary,omitempty"`
+	MetricSummary  []string   `json:"metric_summary,omitempty"`
+}
+
+// JSONSite mirrors Site.
+type JSONSite struct {
+	PC   uint64 `json:"pc"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	SASS string `json:"sass"`
+	Note string `json:"note,omitempty"`
+}
+
+// JSONLineHeat mirrors LineHeat.
+type JSONLineHeat struct {
+	Line     int     `json:"line"`
+	Source   string  `json:"source,omitempty"`
+	Share    float64 `json:"share"`
+	TopStall string  `json:"top_stall"`
+}
+
+// JSONOverhead mirrors the Fig. 6 accounting.
+type JSONOverhead struct {
+	SASS     float64 `json:"sass"`
+	Sampling float64 `json:"sampling"`
+	Metrics  float64 `json:"metrics"`
+}
+
+// ToJSON converts the report to its serializable form.
+func (r *Report) ToJSON() *JSONReport {
+	out := &JSONReport{
+		Kernel: r.Kernel,
+		Arch:   r.Arch,
+		DryRun: r.DryRun,
+	}
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		jf := JSONFinding{
+			Analysis:       f.Analysis,
+			Severity:       f.Severity.String(),
+			Title:          f.Title,
+			Problem:        f.Problem,
+			Recommendation: f.Recommendation,
+			InLoop:         f.InLoop,
+			StallSummary:   f.StallSummary,
+			MetricSummary:  f.MetricSummary,
+		}
+		for _, s := range f.Sites {
+			jf.Sites = append(jf.Sites, JSONSite{
+				PC: s.PC, File: s.File, Line: s.Line, SASS: s.SASS, Note: s.Note,
+			})
+		}
+		out.Findings = append(out.Findings, jf)
+	}
+	if r.DryRun {
+		return out
+	}
+	out.KernelCycles = r.KernelCycles
+	if r.Result != nil {
+		out.Occupancy = r.Result.AchievedOccupancy
+		out.StallShares = map[string]float64{}
+		for s := sim.Stall(0); s < sim.NumStalls; s++ {
+			if s == sim.StallSelected {
+				continue
+			}
+			if share := r.Result.StallShare(s); share > 0 {
+				out.StallShares[s.String()] = share
+			}
+		}
+	}
+	if r.Metrics != nil {
+		out.Metrics = r.Metrics.Values
+	}
+	for _, h := range r.HottestLines(10) {
+		out.HottestLines = append(out.HottestLines, JSONLineHeat{
+			Line: h.Line, Source: h.Source, Share: h.Share, TopStall: h.TopStall.String(),
+		})
+	}
+	out.OverheadCycles = &JSONOverhead{
+		SASS:     r.OverheadSASSCycles,
+		Sampling: r.OverheadSamplingCycles,
+		Metrics:  r.OverheadMetricsCycles,
+	}
+	return out
+}
+
+// MarshalJSON lets a Report be encoded directly.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	return json.MarshalIndent(r.ToJSON(), "", "  ")
+}

@@ -1,0 +1,79 @@
+package scout
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuscout/internal/sass"
+	"gpuscout/internal/sim"
+)
+
+// ReadOnlyAnalysis implements §4.5: global loads whose pointer is never
+// stored through and whose destination registers stay read-only for the
+// rest of the kernel can be marked const __restrict__, letting the
+// compiler route them through the read-only data cache (LDG.E.NC) and
+// reorder accesses more aggressively.
+type ReadOnlyAnalysis struct{}
+
+// Name implements Analysis.
+func (ReadOnlyAnalysis) Name() string { return "readonly_cache" }
+
+// Detect implements Analysis.
+func (ReadOnlyAnalysis) Detect(v *KernelView) []Finding {
+	k := v.Kernel
+	// Group candidate loads by base-pointer register.
+	byBase := map[sass.Reg][]int{}
+	for i := range k.Insts {
+		in := &k.Insts[i]
+		if in.Op != sass.OpLDG || in.IsNC() {
+			continue
+		}
+		mem, ok := in.MemOperand()
+		if !ok || v.DefUse.PointerStoredThroughAt(mem.Reg, i) {
+			continue
+		}
+		byBase[mem.Reg] = append(byBase[mem.Reg], i)
+	}
+	if len(byBase) == 0 {
+		return nil
+	}
+	bases := make([]sass.Reg, 0, len(byBase))
+	for b := range byBase {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+
+	var findings []Finding
+	for _, base := range bases {
+		idxs := byBase[base]
+		f := Finding{
+			Analysis: "readonly_cache",
+			Title:    "Mark read-only pointer with const __restrict__",
+			Problem: fmt.Sprintf(
+				"%d global load(s) through pointer pair %s/%s are read-only for the whole kernel and the pointer is never stored through — but they do not use the read-only data cache (no LDG.E.NC)",
+				len(idxs), base, base+1),
+			Recommendation: "declare the kernel parameter as const T* __restrict__: the compiler can route loads through the read-only cache and optimize the order of memory accesses",
+			RelevantStalls: []sim.Stall{sim.StallLongScoreboard},
+			RelevantMetrics: []string{
+				"l1tex__t_sectors_pipe_tex_mem_texture.sum",
+				"l1tex__t_sector_pipe_tex_mem_texture_hit_rate.pct",
+				"smsp__warp_issue_stalled_long_scoreboard_per_warp_active.pct",
+			},
+			CautionMetrics: []string{
+				// §4.5: "unless the corresponding register pressure is too
+				// high" — the compiler may extend live ranges.
+				"launch__registers_per_thread",
+				"sm__warps_active.avg.pct_of_peak_sustained_active",
+			},
+		}
+		for _, i := range idxs {
+			note := "read-only load; +%d registers live here"
+			f.Sites = append(f.Sites, v.site(i, fmt.Sprintf(note, v.Liveness.ExtraRegs(i))))
+			if v.CFG.InLoop(i) {
+				f.InLoop = true
+			}
+		}
+		findings = append(findings, f)
+	}
+	return findings
+}

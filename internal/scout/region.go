@@ -1,0 +1,136 @@
+package scout
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gpuscout/internal/sass"
+	"gpuscout/internal/sim"
+)
+
+// RegionProfile is the §7 future-work feature ("injecting PTX
+// instructions around specific code regions of interest to collect
+// further metrics"), realized without instrumentation: the simulator's
+// exact per-PC integrals are sliced to a source-line range, yielding the
+// same per-region characterization region markers would produce.
+type RegionProfile struct {
+	Kernel             string
+	FromLine, ToLine   int
+	Instructions       []uint64 // PCs attributed to the region
+	IssuedWarpInsts    float64  // warp instructions issued in the region
+	StallSamples       float64  // non-bookkeeping stall samples in the region
+	ShareOfKernel      float64  // region stall samples / kernel stall samples
+	TopStalls          []RegionStall
+	MemoryInstructions map[string]int // static counts by space (global/shared/local/texture/atomic)
+}
+
+// RegionStall is one stall reason's share within the region.
+type RegionStall struct {
+	Stall sim.Stall
+	Share float64
+}
+
+// ProfileRegion computes the profile of the source-line range
+// [fromLine, toLine]. It requires a non-dry-run report.
+func (r *Report) ProfileRegion(fromLine, toLine int) (*RegionProfile, error) {
+	if r.Samples == nil || r.kernel == nil {
+		return nil, fmt.Errorf("scout: region profiling needs a full (non-dry-run) report")
+	}
+	if fromLine > toLine {
+		return nil, fmt.Errorf("scout: empty region %d..%d", fromLine, toLine)
+	}
+	p := &RegionProfile{
+		Kernel:             r.Kernel,
+		FromLine:           fromLine,
+		ToLine:             toLine,
+		MemoryInstructions: map[string]int{},
+	}
+
+	inRegion := map[uint64]bool{}
+	for i := range r.kernel.Insts {
+		in := &r.kernel.Insts[i]
+		if in.Line < fromLine || in.Line > toLine {
+			continue
+		}
+		inRegion[in.PC] = true
+		p.Instructions = append(p.Instructions, in.PC)
+		switch in.Op {
+		case sass.OpLDG, sass.OpSTG:
+			p.MemoryInstructions["global"]++
+		case sass.OpLDS, sass.OpSTS:
+			p.MemoryInstructions["shared"]++
+		case sass.OpLDL, sass.OpSTL:
+			p.MemoryInstructions["local"]++
+		case sass.OpTEX:
+			p.MemoryInstructions["texture"]++
+		case sass.OpATOM, sass.OpATOMS, sass.OpRED:
+			p.MemoryInstructions["atomic"]++
+		}
+	}
+	if len(p.Instructions) == 0 {
+		return nil, fmt.Errorf("scout: no instructions attributed to lines %d..%d", fromLine, toLine)
+	}
+
+	var regionStalls [sim.NumStalls]float64
+	var kernelTotal float64
+	for pc, integ := range r.Result.Counters.PCStalls {
+		for s := sim.Stall(0); s < sim.NumStalls; s++ {
+			samples := integ[s] / r.Samples.PeriodCycles
+			if s == sim.StallSelected {
+				if inRegion[pc] {
+					// One "selected" sample per period per issue cycle:
+					// scale back to issued instructions.
+					p.IssuedWarpInsts += integ[s]
+				}
+				continue
+			}
+			if s != sim.StallNotSelected {
+				kernelTotal += samples
+			}
+			if inRegion[pc] && s != sim.StallNotSelected {
+				regionStalls[s] += samples
+				p.StallSamples += samples
+			}
+		}
+	}
+	if kernelTotal > 0 {
+		p.ShareOfKernel = p.StallSamples / kernelTotal
+	}
+	for s := sim.Stall(0); s < sim.NumStalls; s++ {
+		if regionStalls[s] > 0 && p.StallSamples > 0 {
+			p.TopStalls = append(p.TopStalls, RegionStall{s, regionStalls[s] / p.StallSamples})
+		}
+	}
+	sort.Slice(p.TopStalls, func(i, j int) bool { return p.TopStalls[i].Share > p.TopStalls[j].Share })
+	return p, nil
+}
+
+// Render formats the region profile as text.
+func (p *RegionProfile) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Region profile — %s, lines %d..%d\n", p.Kernel, p.FromLine, p.ToLine)
+	fmt.Fprintf(&b, "  %d SASS instructions; %.4g warp instructions issued\n",
+		len(p.Instructions), p.IssuedWarpInsts)
+	fmt.Fprintf(&b, "  %.4g stall samples = %.1f%% of the kernel's stalls\n",
+		p.StallSamples, 100*p.ShareOfKernel)
+	if len(p.MemoryInstructions) > 0 {
+		keys := make([]string, 0, len(p.MemoryInstructions))
+		for k := range p.MemoryInstructions {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("  memory instructions:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, p.MemoryInstructions[k])
+		}
+		b.WriteString("\n")
+	}
+	for i, ts := range p.TopStalls {
+		if i >= 4 {
+			break
+		}
+		fmt.Fprintf(&b, "  %-22s %6.1f%%\n", ts.Stall, 100*ts.Share)
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package scout
+
+import (
+	"fmt"
+
+	"gpuscout/internal/sass"
+	"gpuscout/internal/sim"
+)
+
+// RegSpillAnalysis implements §4.2: STL/LDL instructions indicate register
+// spilling to local memory. The detector names the spilled register, the
+// source line, and — "an optimistic assumption" per the paper — the last
+// arithmetic operation that wrote the register and thereby caused the
+// spill (as shown in the Fig. 2 sample output).
+type RegSpillAnalysis struct{}
+
+// Name implements Analysis.
+func (RegSpillAnalysis) Name() string { return "register_spilling" }
+
+// Detect implements Analysis.
+func (RegSpillAnalysis) Detect(v *KernelView) []Finding {
+	k := v.Kernel
+	var sites []Site
+	inLoop := false
+	spills, reloads := 0, 0
+	for i := range k.Insts {
+		in := &k.Insts[i]
+		switch in.Op {
+		case sass.OpSTL:
+			spills++
+			reg := sass.RZ
+			if len(in.Src) > 0 && in.Src[0].Kind == sass.OpdReg {
+				reg = in.Src[0].Reg
+			}
+			note := fmt.Sprintf("register %s spilled to local memory; live register pressure here: %d",
+				reg, v.Liveness.PressureAt(i))
+			if cause := v.DefUse.LastDefBefore(reg, i); cause >= 0 {
+				ci := &k.Insts[cause]
+				note += fmt.Sprintf("; previous write by %s at line %d", ci.Op, ci.Line)
+			}
+			if v.CFG.InLoop(i) {
+				inLoop = true
+				note += "; inside a for-loop"
+			}
+			sites = append(sites, v.site(i, note))
+		case sass.OpLDL:
+			reloads++
+			note := "spilled value reloaded from local memory"
+			if v.CFG.InLoop(i) {
+				inLoop = true
+				note += "; inside a for-loop"
+			}
+			sites = append(sites, v.site(i, note))
+		}
+	}
+	if spills == 0 && reloads == 0 {
+		return nil
+	}
+	maxP, at := v.Liveness.MaxPressure()
+	f := Finding{
+		Analysis: "register_spilling",
+		Title:    "Register spilling to local memory detected",
+		Problem: fmt.Sprintf(
+			"%d spill stores (STL) and %d reloads (LDL) — the kernel needs more registers than available (%d allocated; peak live pressure %d at PC %#x, %d B of local memory per thread), creating extra memory traffic through L1 and L2",
+			spills, reloads, k.NumRegs, maxP, k.Insts[at].PC, k.LocalBytes),
+		Recommendation: "reduce simultaneously-live values (split the kernel, reduce unrolling, recompute instead of keeping values), or raise the register budget (-maxrregcount / __launch_bounds__) if occupancy allows",
+		Sites:          sites,
+		InLoop:         inLoop,
+		RelevantStalls: []sim.Stall{sim.StallLGThrottle, sim.StallLongScoreboard},
+		RelevantMetrics: []string{
+			"launch__local_mem_per_thread",
+			"smsp__inst_executed_op_local_ld.sum",
+			"smsp__inst_executed_op_local_st.sum",
+			"l1tex__t_sectors_pipe_lsu_mem_local_op_ld.sum",
+			"l1tex__t_sectors_pipe_lsu_mem_local_op_st.sum",
+			"l1tex__t_sector_pipe_lsu_mem_local_op_ld_hit_rate.pct",
+			"lts__t_sectors.sum",
+			"smsp__warp_issue_stalled_lg_throttle_per_warp_active.pct",
+			"smsp__warp_issue_stalled_long_scoreboard_per_warp_active.pct",
+		},
+		CautionMetrics: []string{
+			"sm__warps_active.avg.pct_of_peak_sustained_active",
+		},
+	}
+	return []Finding{f}
+}

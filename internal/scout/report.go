@@ -1,0 +1,122 @@
+package scout
+
+import (
+	"fmt"
+	"strings"
+
+	"gpuscout/internal/ncu"
+)
+
+// Render produces the text report printed to the terminal, following the
+// three-section structure of the paper's Fig. 2/Fig. 5 sample outputs:
+// SASS analysis, warp stalls, and metric analysis per finding, plus a
+// kernel-wide data-movement summary.
+func (r *Report) Render() string {
+	var b strings.Builder
+	bar := strings.Repeat("=", 78)
+	thin := strings.Repeat("-", 78)
+
+	fmt.Fprintf(&b, "%s\nGPUscout report — kernel %s (%s)", bar, r.Kernel, r.Arch)
+	if r.DryRun {
+		b.WriteString("  [dry run: static SASS analysis only]")
+	}
+	fmt.Fprintf(&b, "\n%s\n", bar)
+
+	if len(r.Findings) == 0 {
+		b.WriteString("No data-movement bottleneck patterns detected.\n")
+	}
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		fmt.Fprintf(&b, "\n[%s] %s   (analysis: %s)\n", f.Severity, f.Title, f.Analysis)
+		fmt.Fprintf(&b, "  Problem: %s\n", wrap(f.Problem, 74, "           "))
+		fmt.Fprintf(&b, "  Advice:  %s\n", wrap(f.Recommendation, 74, "           "))
+		if f.InLoop {
+			b.WriteString("  Note:    pattern occurs inside a for-loop — repeated execution amplifies it\n")
+		}
+		if len(f.Sites) > 0 {
+			b.WriteString("  Locations:\n")
+			for _, s := range f.Sites {
+				fmt.Fprintf(&b, "    %s:%d  %s\n", s.File, s.Line, s.SASS)
+				if s.Note != "" {
+					fmt.Fprintf(&b, "      > %s\n", s.Note)
+				}
+				if src := r.sourceLine(s.Line); src != "" {
+					fmt.Fprintf(&b, "      source: %s\n", strings.TrimSpace(src))
+				}
+			}
+		}
+		if len(f.StallSummary) > 0 {
+			fmt.Fprintf(&b, "  %s\n  Warp stalls (CUPTI PC sampling):\n", thin[:70])
+			for _, line := range f.StallSummary {
+				fmt.Fprintf(&b, "    %s\n", wrap(line, 72, "      "))
+			}
+		}
+		if len(f.MetricSummary) > 0 {
+			fmt.Fprintf(&b, "  %s\n  Metric analysis (ncu):\n", thin[:70])
+			for _, line := range f.MetricSummary {
+				fmt.Fprintf(&b, "    %s\n", wrap(line, 72, "      "))
+			}
+		}
+	}
+
+	if !r.DryRun && r.Metrics != nil {
+		fmt.Fprintf(&b, "\n%s\nKernel-wide data movement (ncu metrics)\n%s\n", thin, thin)
+		for _, name := range []string{
+			"gpu__time_duration.sum",
+			"sm__cycles_elapsed.max",
+			"launch__registers_per_thread",
+			"sm__warps_active.avg.pct_of_peak_sustained_active",
+			"smsp__inst_executed.sum",
+			"l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum",
+			"l1tex__t_sector_pipe_lsu_mem_global_op_ld_hit_rate.pct",
+			"lts__t_sectors.sum",
+			"lts__t_sector_hit_rate.pct",
+			"dram__bytes_read.sum",
+			"dram__bytes_write.sum",
+		} {
+			if v, ok := r.Metrics.Get(name); ok {
+				unit := ""
+				if m, found := ncu.Lookup(name); found {
+					unit = m.Unit
+				}
+				fmt.Fprintf(&b, "  %-55s %14.6g %s\n", name, v, unit)
+			}
+		}
+		fmt.Fprintf(&b, "\nOverhead: SASS analysis %.3g Mcycles | PC sampling %.3g Mcycles | metrics %.3g Mcycles (%d ncu passes) | bare kernel %.3g Mcycles\n",
+			r.OverheadSASSCycles/1e6, r.OverheadSamplingCycles/1e6,
+			r.OverheadMetricsCycles/1e6, r.Metrics.Passes, r.KernelCycles/1e6)
+	}
+	return b.String()
+}
+
+// sourceLine fetches embedded source text for quoting.
+func (r *Report) sourceLine(line int) string {
+	if r.kernel == nil {
+		return ""
+	}
+	return r.kernel.SourceLine(line)
+}
+
+// wrap soft-wraps s at width, indenting continuation lines.
+func wrap(s string, width int, indent string) string {
+	words := strings.Fields(s)
+	if len(words) == 0 {
+		return s
+	}
+	var b strings.Builder
+	lineLen := 0
+	for i, w := range words {
+		if i > 0 {
+			if lineLen+1+len(w) > width {
+				b.WriteString("\n" + indent)
+				lineLen = 0
+			} else {
+				b.WriteString(" ")
+				lineLen++
+			}
+		}
+		b.WriteString(w)
+		lineLen += len(w)
+	}
+	return b.String()
+}

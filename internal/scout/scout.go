@@ -1,0 +1,343 @@
+package scout
+
+import (
+	"fmt"
+	"time"
+
+	"gpuscout/internal/cupti"
+	"gpuscout/internal/gpu"
+	"gpuscout/internal/ncu"
+	"gpuscout/internal/sass"
+	"gpuscout/internal/sim"
+)
+
+// AllAnalyses returns the full §4 detector set in paper order.
+func AllAnalyses() []Analysis {
+	return []Analysis{
+		VectorLoadAnalysis{},   // §4.1
+		RegSpillAnalysis{},     // §4.2
+		SharedMemAnalysis{},    // §4.3
+		SharedAtomicAnalysis{}, // §4.4
+		ReadOnlyAnalysis{},     // §4.5
+		TextureAnalysis{},      // §4.6
+		DtypeConvAnalysis{},    // §4.7
+		BankConflictAnalysis{}, // added analysis (§7: modular extension)
+	}
+}
+
+// Options configure one GPUscout run.
+type Options struct {
+	// DryRun restricts the run to the static SASS analysis — no GPU
+	// involvement, no warp stalls, no metrics (§3.1). It also is the only
+	// mode available on architectures ncu does not support.
+	DryRun bool
+	// SamplingPeriod is the CUPTI PC sampling period in cycles
+	// (default 2048).
+	SamplingPeriod float64
+	// Sim configures the simulated launches.
+	Sim sim.Config
+	// Analyses overrides the detector set (nil = AllAnalyses).
+	Analyses []Analysis
+}
+
+// RunFunc launches the kernel once and returns the simulation result.
+// GPUscout invokes it for the dynamic pillars; the static pillar never
+// needs it.
+type RunFunc func(cfg sim.Config) (*sim.Result, error)
+
+// Analyze performs the full GPUscout workflow (§3.1) on one kernel:
+// static code instrumentation, dynamic data collection (PC sampling and
+// ncu metrics, unless DryRun), and data evaluation.
+func Analyze(arch gpu.Arch, k *sass.Kernel, run RunFunc, opts Options) (*Report, error) {
+	analyses := opts.Analyses
+	if analyses == nil {
+		analyses = AllAnalyses()
+	}
+
+	// --- Pillar 1: static SASS analysis. ---
+	start := time.Now()
+	view, err := NewKernelView(k)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, a := range analyses {
+		findings = append(findings, a.Detect(view)...)
+	}
+	sassWall := time.Since(start)
+
+	rep := &Report{
+		Kernel:             k.Name,
+		Arch:               k.Arch,
+		DryRun:             opts.DryRun || run == nil,
+		Findings:           findings,
+		OverheadSASSCycles: sassWall.Seconds() * arch.ClockGHz * 1e9,
+		kernel:             k,
+		view:               view,
+	}
+	if rep.DryRun {
+		sortFindings(rep.Findings)
+		return rep, nil
+	}
+
+	// --- Pillar 2: warp-stall sampling (CUPTI). ---
+	res, err := run(opts.Sim)
+	if err != nil {
+		return nil, fmt.Errorf("scout: sampled run: %w", err)
+	}
+	samples, err := cupti.Collect(k, res, cupti.Config{PeriodCycles: opts.SamplingPeriod})
+	if err != nil {
+		return nil, fmt.Errorf("scout: %w", err)
+	}
+	rep.Result = res
+	rep.Samples = samples
+	rep.KernelCycles = res.Cycles
+	rep.OverheadSamplingCycles = cupti.CollectionCycles(res)
+
+	// --- Pillar 3: kernel-wide metrics (ncu). ---
+	// "The number of collected metrics is kept to minimum" (§3): only the
+	// metrics the findings reference, plus a small base set.
+	names := baseMetrics()
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for fi := range findings {
+		for _, n := range append(append([]string{}, findings[fi].RelevantMetrics...), findings[fi].CautionMetrics...) {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	collector := ncu.Collector{Arch: arch}
+	ms, err := collector.Collect(ncu.Context{Kernel: k, Result: res}, names)
+	if err != nil {
+		return nil, fmt.Errorf("scout: %w", err)
+	}
+	rep.Metrics = ms
+	rep.OverheadMetricsCycles = ms.OverheadCycles
+
+	// --- Data evaluation: correlate stalls and metrics per finding. ---
+	for fi := range rep.Findings {
+		correlate(&rep.Findings[fi], rep)
+	}
+	sortFindings(rep.Findings)
+	return rep, nil
+}
+
+// baseMetrics is the always-collected minimum set: the kernel-wide data
+// movement summary of §3.2.
+func baseMetrics() []string {
+	return []string{
+		"gpu__time_duration.sum",
+		"sm__cycles_elapsed.max",
+		"launch__registers_per_thread",
+		"sm__warps_active.avg.pct_of_peak_sustained_active",
+		"sm__maximum_warps_per_active_cycle_pct",
+		"smsp__inst_executed.sum",
+		"l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum",
+		"l1tex__t_sectors_pipe_lsu_mem_global_op_st.sum",
+		"l1tex__t_sector_pipe_lsu_mem_global_op_ld_hit_rate.pct",
+		"lts__t_sectors.sum",
+		"lts__t_sector_hit_rate.pct",
+		"dram__bytes_read.sum",
+		"dram__bytes_write.sum",
+	}
+}
+
+// correlate fills a finding's stall summary, metric summary and severity
+// from the dynamic pillars.
+func correlate(f *Finding, rep *Report) {
+	// Warp stalls at the finding's sites, aggregated by line. Stalls
+	// surface at the *dependent* instruction (the consumer waiting on the
+	// scoreboard), so the correlation includes the lines that consume the
+	// flagged instructions' results.
+	seenLines := map[int]bool{}
+	for _, s := range f.Sites {
+		idx := int(s.PC / sass.InstBytes)
+		if rep.view != nil && idx < len(rep.view.Kernel.Insts) {
+			in := &rep.view.Kernel.Insts[idx]
+			for _, r := range in.DstRegs(nil) {
+				for _, l := range rep.view.DefUse.UseLinesAfter(r, idx) {
+					seenLines[l] = false // consumer line: counted, not listed
+				}
+			}
+		}
+	}
+	var relevantShare float64
+	for _, s := range f.Sites {
+		if _, dup := seenLines[s.Line]; dup && seenLines[s.Line] {
+			continue
+		}
+		seenLines[s.Line] = true
+		top := topLineStalls(rep.Samples, s.Line, 3)
+		for _, ts := range top {
+			f.StallSummary = append(f.StallSummary, fmt.Sprintf(
+				"line %d: %s — %.1f%% of stall samples at this line (%s)",
+				s.Line, ts.stall, 100*ts.share, ts.stall.Explain()))
+		}
+	}
+	// Relevance: how much of the kernel's stalls are of the kinds this
+	// finding points at, at these lines.
+	var atSites, total float64
+	for line := range seenLines {
+		agg := rep.Samples.AtLine(line)
+		for _, st := range f.RelevantStalls {
+			atSites += agg[st]
+		}
+	}
+	for st := sim.Stall(0); st < sim.NumStalls; st++ {
+		if st == sim.StallSelected {
+			continue
+		}
+		total += rep.Result.Counters.StallCycles[st] / rep.Samples.PeriodCycles
+	}
+	if total > 0 {
+		relevantShare = atSites / total
+	}
+	switch {
+	case relevantShare >= 0.20:
+		f.Severity = SeverityCritical
+	case relevantShare >= 0.02:
+		f.Severity = SeverityWarning
+	default:
+		if f.Severity < SeverityInfo {
+			f.Severity = SeverityInfo
+		}
+	}
+	f.StallSummary = append(f.StallSummary, fmt.Sprintf(
+		"relevant stalls (%s) at the flagged lines account for %.1f%% of all kernel stall samples",
+		stallList(f.RelevantStalls), 100*relevantShare))
+
+	// Metric analysis.
+	f.MetricSummary = metricSummary(f, rep)
+}
+
+type lineStall struct {
+	stall sim.Stall
+	share float64
+}
+
+func topLineStalls(r *cupti.Report, line, max int) []lineStall {
+	agg := r.AtLine(line)
+	var total float64
+	for s := sim.Stall(0); s < sim.NumStalls; s++ {
+		if s == sim.StallSelected || s == sim.StallNotSelected {
+			continue
+		}
+		total += agg[s]
+	}
+	if total == 0 {
+		return nil
+	}
+	var out []lineStall
+	for s := sim.Stall(0); s < sim.NumStalls; s++ {
+		if s == sim.StallSelected || s == sim.StallNotSelected || agg[s] == 0 {
+			continue
+		}
+		out = append(out, lineStall{s, agg[s] / total})
+	}
+	// Selection sort for the top few.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].share > out[i].share {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+func stallList(ss []sim.Stall) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ", "
+		}
+		out += s.String()
+	}
+	return out
+}
+
+// metricSummary renders the per-finding metric analysis, including the
+// derived formulas the paper describes (§2.3, §4.2, §4.3).
+func metricSummary(f *Finding, rep *Report) []string {
+	ms := rep.Metrics
+	var out []string
+	add := func(format string, args ...interface{}) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	val := func(name string) float64 {
+		v, _ := ms.Get(name)
+		return v
+	}
+	for _, name := range f.RelevantMetrics {
+		if m, ok := ncu.Lookup(name); ok {
+			add("%s = %.6g %s (%s)", name, val(name), m.Unit, m.Description)
+		}
+	}
+	arch := rep.Result
+	_ = arch
+	switch f.Analysis {
+	case "register_spilling":
+		localInsts := val("smsp__inst_executed_op_local_ld.sum") + val("smsp__inst_executed_op_local_st.sum")
+		missPct := 100 - val("l1tex__t_sector_pipe_lsu_mem_local_op_ld_hit_rate.pct")
+		numSMs := float64(rep.Result.NumSMs)
+		// §2.3: #SMs * (% cache miss) * (local memory instructions).
+		add("estimated queries to L2 due to local memory = #SMs x miss%% x local insts = %.0f x %.1f%% x %.0f = %.4g",
+			numSMs, missPct, localInsts/numSMs, missPct/100*localInsts)
+		localSect := val("l1tex__t_sectors_pipe_lsu_mem_local_op_ld.sum") + val("l1tex__t_sectors_pipe_lsu_mem_local_op_st.sum")
+		totalSect := localSect + val("l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum") + val("l1tex__t_sectors_pipe_lsu_mem_global_op_st.sum")
+		if totalSect > 0 {
+			add("local memory causes %.1f%% of the L1TEX sector traffic (%.4g of %.4g sectors, %.4g B)",
+				100*localSect/totalSect, localSect, totalSect, localSect*32)
+		}
+	case "vectorized_load":
+		ldInsts := val("smsp__inst_executed_op_global_ld.sum")
+		sectors := val("l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum")
+		if ldInsts > 0 {
+			add("global loads execute %.4g instructions moving %.4g sectors (%.2f sectors/instruction); vectorizing reduces the instruction count",
+				ldInsts, sectors, sectors/ldInsts)
+		}
+		add("current register pressure: %.0f registers/thread at %.1f%% achieved occupancy — check both after vectorizing",
+			val("launch__registers_per_thread"),
+			val("sm__warps_active.avg.pct_of_peak_sustained_active"))
+	case "shared_memory", "bank_conflicts":
+		acc := val("smsp__inst_executed_op_shared_ld.sum")
+		trans := val("l1tex__data_pipe_lsu_wavefronts_mem_shared_op_ld.sum")
+		if acc > 0 {
+			// §4.3: transactions per access approximates the n-way bank
+			// conflict (1 = conflict-free, 32 = fully serialized).
+			add("shared-memory bank conflict ratio = %.4g transactions / %.4g accesses = %.2f-way (1.0 = conflict-free)",
+				trans, acc, trans/acc)
+		} else {
+			add("kernel currently uses no shared memory; after the change, watch the bank-conflict ratio (transactions/accesses)")
+		}
+	case "shared_atomics":
+		add("global atomics: %.4g thread ops; shared atomics: %.4g thread ops; atomic requests usually miss L1 entirely and resolve in L2 (hit rate %.1f%%) or DRAM",
+			val("smsp__sass_inst_executed_op_global_atom.sum"),
+			val("smsp__sass_inst_executed_op_shared_atom.sum"),
+			val("lts__t_sector_hit_rate.pct"))
+	case "texture_memory", "readonly_cache":
+		tex := val("l1tex__t_sectors_pipe_tex_mem_texture.sum")
+		if tex > 0 {
+			add("texture/read-only path: %.4g sectors requested (%.4g B), %.1f%% hit the texture cache",
+				tex, tex*32, val("l1tex__t_sector_pipe_tex_mem_texture_hit_rate.pct"))
+		}
+	case "datatype_conversion":
+		total := val("smsp__inst_executed.sum")
+		if total > 0 && rep.Result != nil {
+			conv := float64(rep.Result.Counters.OpcodeDyn[sass.OpI2F]+
+				rep.Result.Counters.OpcodeDyn[sass.OpF2I]+
+				rep.Result.Counters.OpcodeDyn[sass.OpF2F]+
+				rep.Result.Counters.OpcodeDyn[sass.OpI2I]) * rep.Result.Scale
+			add("conversions are %.2f%% of all executed warp instructions (%.4g of %.4g)",
+				100*conv/total, conv, total)
+		}
+	}
+	return out
+}

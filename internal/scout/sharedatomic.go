@@ -1,0 +1,68 @@
+package scout
+
+import (
+	"fmt"
+
+	"gpuscout/internal/ptx"
+	"gpuscout/internal/sass"
+	"gpuscout/internal/sim"
+)
+
+// SharedAtomicAnalysis implements §4.4: frequent global atomics serialize
+// device-wide (resolved in L2), while shared atomics serialize only within
+// a thread block. Following the paper (footnote 2), the analysis runs on
+// the PTX view of the kernel and is cross-checked against the SASS.
+type SharedAtomicAnalysis struct{}
+
+// Name implements Analysis.
+func (SharedAtomicAnalysis) Name() string { return "shared_atomics" }
+
+// Detect implements Analysis.
+func (SharedAtomicAnalysis) Detect(v *KernelView) []Finding {
+	k := v.Kernel
+	mod := ptx.Lift(k)
+	atomics := mod.Atomics()
+	if len(atomics.GlobalAtomics) == 0 {
+		return nil
+	}
+
+	f := Finding{
+		Analysis: "shared_atomics",
+		Title:    "Frequent global atomics: consider shared-memory atomics",
+		Problem: fmt.Sprintf(
+			"PTX analysis finds %d global atomic(s) (atom.global/red.global) vs %d shared atomic(s); a global atomic is a kernel-wide serialization typically resolved in the L2 cache",
+			len(atomics.GlobalAtomics), len(atomics.SharedAtomics)),
+		Recommendation: "accumulate per-block partial results with shared-memory atomics (block-level serialization) and combine them with one global atomic per block; note shared atomics only synchronize within one thread block",
+		RelevantStalls: []sim.Stall{sim.StallLGThrottle},
+		RelevantMetrics: []string{
+			"smsp__sass_inst_executed_op_global_atom.sum",
+			"smsp__sass_inst_executed_op_shared_atom.sum",
+			"lts__t_sector_hit_rate.pct",
+			"smsp__warp_issue_stalled_lg_throttle_per_warp_active.pct",
+		},
+		CautionMetrics: []string{
+			// §4.4: shared atomics load the MIO pipelines.
+			"smsp__warp_issue_stalled_mio_throttle_per_warp_active.pct",
+			"smsp__warp_issue_stalled_short_scoreboard_per_warp_active.pct",
+		},
+	}
+
+	// Locate the SASS sites and the loop amplification the paper warns
+	// about ("especially detected in a for-loop").
+	for i := range k.Insts {
+		in := &k.Insts[i]
+		if in.Op != sass.OpATOM && in.Op != sass.OpRED {
+			continue
+		}
+		note := "global atomic (" + in.Mnemonic() + "); typically a 100% L1 miss, resolved in L2 or DRAM"
+		if v.CFG.InLoop(i) {
+			f.InLoop = true
+			note += "; inside a for-loop: repeated serialization amplifies the penalty"
+		}
+		f.Sites = append(f.Sites, v.site(i, note))
+	}
+	if f.InLoop {
+		f.Severity = SeverityWarning
+	}
+	return []Finding{f}
+}

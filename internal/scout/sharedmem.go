@@ -1,0 +1,113 @@
+package scout
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuscout/internal/sass"
+	"gpuscout/internal/sim"
+)
+
+// SharedMemAnalysis implements §4.3 / Fig. 4: global loads whose data is
+// used repeatedly — the same address loaded more than once, or a load
+// inside a for-loop feeding several arithmetic instructions — are
+// candidates for staging in shared memory.
+type SharedMemAnalysis struct {
+	// MinArithUses is the Fig. 4 arithmetic-instruction threshold;
+	// defaults to 2.
+	MinArithUses int
+}
+
+// Name implements Analysis.
+func (SharedMemAnalysis) Name() string { return "shared_memory" }
+
+// Detect implements Analysis.
+func (a SharedMemAnalysis) Detect(v *KernelView) []Finding {
+	minUses := a.MinArithUses
+	if minUses <= 0 {
+		minUses = 2
+	}
+	k := v.Kernel
+
+	// Count repeated loads per (base, base version, offset) address.
+	type addrKey struct {
+		base sass.Reg
+		def  int
+		off  int64
+	}
+	loadsAt := map[addrKey][]int{}
+	for i := range k.Insts {
+		in := &k.Insts[i]
+		if in.Op != sass.OpLDG {
+			continue
+		}
+		mem, ok := in.MemOperand()
+		if !ok {
+			continue
+		}
+		key := addrKey{mem.Reg, v.DefUse.LastDefBefore(mem.Reg, i), mem.Imm}
+		loadsAt[key] = append(loadsAt[key], i)
+	}
+
+	var candidates []int
+	notes := map[int]string{}
+	for _, idxs := range loadsAt {
+		for _, i := range idxs {
+			in := &k.Insts[i]
+			if len(in.Dst) == 0 || in.Dst[0].Kind != sass.OpdReg {
+				continue
+			}
+			dst := in.Dst[0].Reg
+			arith := v.DefUse.ArithUseCount(dst)
+			repeated := len(idxs) > 1
+			inLoop := v.CFG.InLoop(i)
+			// Fig. 4: repeated access to the same data AND arithmetic use;
+			// a loop amplifies the load's execution count.
+			if arith < minUses || (!repeated && !inLoop) {
+				continue
+			}
+			note := fmt.Sprintf("register %s: %d arithmetic use(s)", dst, arith)
+			if repeated {
+				note += fmt.Sprintf("; address loaded %d times", len(idxs))
+			}
+			if inLoop {
+				note += "; load inside a for-loop (repeated global requests)"
+			}
+			candidates = append(candidates, i)
+			notes[i] = note
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	sort.Ints(candidates)
+
+	f := Finding{
+		Analysis: "shared_memory",
+		Title:    "Consider staging reused global data in shared memory",
+		Problem: fmt.Sprintf(
+			"%d global load(s) feed repeated arithmetic on the same data; every repetition pays global-memory latency that shared memory (low-latency, per-block) would avoid",
+			len(candidates)),
+		Recommendation: "copy the reused data into __shared__ memory once per block (with __syncthreads()), and compute from there; profitable only when the data is reused enough to amortize the staging cost",
+		RelevantStalls: []sim.Stall{sim.StallLongScoreboard},
+		RelevantMetrics: []string{
+			"smsp__inst_executed_op_global_ld.sum",
+			"smsp__warp_issue_stalled_long_scoreboard_per_warp_active.pct",
+		},
+		CautionMetrics: []string{
+			// §4.3: watch the bank-conflict ratio (transactions/accesses)
+			// and MIO pressure after the change.
+			"l1tex__data_pipe_lsu_wavefronts_mem_shared_op_ld.sum",
+			"smsp__inst_executed_op_shared_ld.sum",
+			"smsp__warp_issue_stalled_mio_throttle_per_warp_active.pct",
+			"smsp__warp_issue_stalled_short_scoreboard_per_warp_active.pct",
+		},
+	}
+	for _, i := range candidates {
+		if v.CFG.InLoop(i) {
+			f.InLoop = true
+		}
+		f.Sites = append(f.Sites, v.site(i, notes[i]))
+	}
+	return []Finding{f}
+}

@@ -1,0 +1,130 @@
+package scout
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuscout/internal/sass"
+	"gpuscout/internal/sim"
+)
+
+// VectorLoadAnalysis implements §4.1 / Fig. 3: find groups of narrow
+// (32-bit) global loads from the same base register at adjacent offsets
+// and recommend vectorized LDG.E.{64,128} accesses.
+type VectorLoadAnalysis struct{}
+
+// Name implements Analysis.
+func (VectorLoadAnalysis) Name() string { return "vectorized_load" }
+
+// loadGroup keys loads by (base register, reaching definition of base):
+// loads only combine if the base holds the same value.
+type loadGroup struct {
+	base    sass.Reg
+	baseDef int
+	idxs    []int // instruction indices
+	offs    []int64
+}
+
+// Detect implements Analysis.
+func (VectorLoadAnalysis) Detect(v *KernelView) []Finding {
+	k := v.Kernel
+	groups := map[[2]int64]*loadGroup{}
+	for i := range k.Insts {
+		in := &k.Insts[i]
+		if in.Op != sass.OpLDG || in.IsVectorized() || in.WidthBytes() != 4 {
+			continue
+		}
+		mem, ok := in.MemOperand()
+		if !ok {
+			continue
+		}
+		key := [2]int64{int64(mem.Reg), int64(v.DefUse.LastDefBefore(mem.Reg, i))}
+		g := groups[key]
+		if g == nil {
+			g = &loadGroup{base: mem.Reg, baseDef: int(key[1])}
+			groups[key] = g
+		}
+		g.idxs = append(g.idxs, i)
+		g.offs = append(g.offs, mem.Imm)
+	}
+
+	var findings []Finding
+	keys := make([][2]int64, 0, len(groups))
+	for key := range groups {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		g := groups[key]
+		run := longestAdjacentRun(g.offs)
+		if run < 2 {
+			continue
+		}
+		width := "64-bit (2 elements)"
+		if run >= 4 {
+			width = "128-bit (4 elements)"
+		}
+		f := Finding{
+			Analysis: "vectorized_load",
+			Title:    "Use vectorized global loads",
+			Problem: fmt.Sprintf(
+				"%d non-vectorized 32-bit global loads (LDG.E) read adjacent addresses off base register %s; each costs one instruction and one memory transaction",
+				len(g.idxs), g.base),
+			Recommendation: fmt.Sprintf(
+				"combine adjacent loads into %s vectorized accesses (e.g. reinterpret_cast<float4*>), reducing the number of load instructions executed", width),
+			RelevantStalls: []sim.Stall{sim.StallLongScoreboard, sim.StallLGThrottle},
+			RelevantMetrics: []string{
+				"smsp__inst_executed_op_global_ld.sum",
+				"l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum",
+				"smsp__warp_issue_stalled_long_scoreboard_per_warp_active.pct",
+			},
+			CautionMetrics: []string{
+				"launch__registers_per_thread",
+				"sm__warps_active.avg.pct_of_peak_sustained_active",
+			},
+		}
+		inLoop := false
+		for n, i := range g.idxs {
+			note := fmt.Sprintf("offset %+d from [%s]; +%d registers live here",
+				g.offs[n], g.base, v.Liveness.ExtraRegs(i))
+			if v.CFG.InLoop(i) {
+				inLoop = true
+				note += "; inside a for-loop"
+			}
+			f.Sites = append(f.Sites, v.site(i, note))
+		}
+		f.InLoop = inLoop
+		findings = append(findings, f)
+	}
+	return findings
+}
+
+// longestAdjacentRun returns the length of the longest run of offsets
+// spaced exactly 4 bytes apart.
+func longestAdjacentRun(offs []int64) int {
+	s := append([]int64(nil), offs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	best, cur := 1, 1
+	for i := 1; i < len(s); i++ {
+		switch s[i] - s[i-1] {
+		case 4:
+			cur++
+		case 0:
+			continue
+		default:
+			cur = 1
+		}
+		if cur > best {
+			best = cur
+		}
+	}
+	if len(s) == 0 {
+		return 0
+	}
+	return best
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"gpuscout/internal/gpu"
+	"gpuscout/internal/sass"
+)
+
+// Counters are the raw hardware event counts a kernel launch produces.
+// internal/ncu derives its named metrics from these; internal/cupti
+// derives PC samples from the per-PC stall integrals.
+type Counters struct {
+	// Issue and instruction mix.
+	WarpInsts   uint64 // warp instructions issued
+	ThreadInsts uint64 // thread instructions (x active lanes)
+	OpcodeDyn   map[sass.Opcode]uint64
+
+	// Sector traffic through L1TEX by space and direction. A sector is
+	// 32 bytes, matching l1tex__t_sectors_* semantics.
+	GlobalLdSectors, GlobalLdSectorHits uint64
+	GlobalStSectors                     uint64
+	LocalLdSectors, LocalLdSectorHits   uint64
+	LocalStSectors                      uint64
+	TexSectors, TexSectorHits           uint64 // texture + LDG.E.NC reads
+
+	// Memory instruction counts by space.
+	GlobalLdInsts, GlobalStInsts uint64
+	LocalLdInsts, LocalStInsts   uint64
+	SharedLdInsts, SharedStInsts uint64
+	TexInsts                     uint64
+	GlobalAtomics, SharedAtomics uint64
+
+	// Shared-memory transactions vs accesses (bank-conflict ratio §4.3).
+	SharedLdTrans, SharedStTrans uint64
+
+	// L2 and DRAM.
+	L2Sectors, L2Hits             uint64
+	L2ReadSectors, L2WriteSectors uint64
+	DRAMReadBytes, DRAMWriteBytes uint64
+
+	// Stall integrals: total and per PC, in warp-cycles.
+	StallCycles [NumStalls]float64
+	PCStalls    map[uint64]*[NumStalls]float64
+
+	// Occupancy accounting.
+	ActiveWarpCycles float64 // integral of resident, unfinished warps over time
+	SMBusyCycles     float64 // sum over simulated SMs of their busy time
+}
+
+func newCounters() *Counters {
+	return &Counters{
+		OpcodeDyn: map[sass.Opcode]uint64{},
+		PCStalls:  map[uint64]*[NumStalls]float64{},
+	}
+}
+
+func (c *Counters) pcStall(pc uint64) *[NumStalls]float64 {
+	s := c.PCStalls[pc]
+	if s == nil {
+		s = new([NumStalls]float64)
+		c.PCStalls[pc] = s
+	}
+	return s
+}
+
+func (c *Counters) addStall(pc uint64, reason Stall, dt float64) {
+	c.StallCycles[reason] += dt
+	c.pcStall(pc)[reason] += dt
+}
+
+// Result is the outcome of one simulated kernel launch.
+type Result struct {
+	Kernel      string
+	Grid, Block Dim3
+
+	// Cycles is the kernel duration in SM cycles (max over SMs);
+	// DurationSec converts it at the modeled clock.
+	Cycles      float64
+	DurationSec float64
+
+	// Occupancy from the launch configuration, and the achieved value
+	// measured during execution.
+	Occupancy         gpu.Occupancy
+	AchievedOccupancy float64
+
+	// Scale is the block-sampling multiplier applied to chip-wide
+	// counters (1 when every block was simulated).
+	Scale           float64
+	SimulatedBlocks int
+	TotalBlocks     int
+	NumSMs          int       // SMs on the modeled chip
+	SimulatedSMs    int       // SMs actually simulated
+	SMFinish        []float64 // per simulated SM, its finish time in cycles
+
+	Counters *Counters
+}
+
+// BlockRan reports whether the block with the given linearized index
+// (X-major) was simulated. Under SM sampling only blocks assigned to the
+// simulated SMs execute; verification must skip the rest.
+func (r *Result) BlockRan(linear int) bool {
+	if r.NumSMs <= 0 {
+		return true
+	}
+	return linear%r.NumSMs < r.SimulatedSMs
+}
+
+// StallShare returns stall reason r's fraction of all non-selected stall
+// cycles, in [0,1].
+func (r *Result) StallShare(s Stall) float64 {
+	var total float64
+	for i := Stall(0); i < NumStalls; i++ {
+		if i == StallSelected {
+			continue
+		}
+		total += r.Counters.StallCycles[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return r.Counters.StallCycles[s] / total
+}
+
+// StallsAtPC returns the per-reason stall cycles recorded at one PC.
+func (r *Result) StallsAtPC(pc uint64) [NumStalls]float64 {
+	if s := r.Counters.PCStalls[pc]; s != nil {
+		return *s
+	}
+	return [NumStalls]float64{}
+}
+
+// IPC returns issued warp instructions per cycle across the simulated SMs.
+func (r *Result) IPC() float64 {
+	if r.Counters.SMBusyCycles == 0 {
+		return 0
+	}
+	return float64(r.Counters.WarpInsts) / r.Counters.SMBusyCycles
+}

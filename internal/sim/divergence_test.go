@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"testing"
+
+	"gpuscout/internal/codegen"
+	"gpuscout/internal/gpu"
+	"gpuscout/internal/kasm"
+	"gpuscout/internal/sass"
+)
+
+// TestNestedDivergence executes a two-level nested if/else:
+//
+//	if (tid & 1) { if (tid & 2) r=3 else r=2 } else { if (tid & 2) r=1 else r=0 }
+//
+// exercising reconvergence-stack nesting.
+func TestNestedDivergence(t *testing.T) {
+	b := kasm.NewBuilder("_Znest", "sm_70", "n.cu")
+	b.NumParams(1)
+	b.Line(1)
+	tid := b.TidX()
+	out := b.ParamPtr(0)
+	r := b.MovImm(-1)
+	bit0 := b.And(kasm.VR(tid), kasm.VImm(1))
+	bit1 := b.And(kasm.VR(tid), kasm.VImm(2))
+	p0 := b.ISetp("NE", kasm.VR(bit0), kasm.VImm(0))
+	p1 := b.ISetp("NE", kasm.VR(bit1), kasm.VImm(0))
+
+	b.BraIf(p0, false, "odd")
+	// even half:
+	b.BraIf(p1, false, "even_hi")
+	b.MovTo(kasm.VR(r), kasm.VImm(0))
+	b.Bra("join")
+	b.LabelName("even_hi")
+	b.MovTo(kasm.VR(r), kasm.VImm(1))
+	b.Bra("join")
+	// odd half:
+	b.LabelName("odd")
+	b.BraIf(p1, false, "odd_hi")
+	b.MovTo(kasm.VR(r), kasm.VImm(2))
+	b.Bra("join")
+	b.LabelName("odd_hi")
+	b.MovTo(kasm.VR(r), kasm.VImm(3))
+	b.LabelName("join")
+	off := b.Shl(kasm.VR(tid), 2)
+	addr := b.IMadWide(kasm.VR(off), kasm.VImm(1), out)
+	b.Stg(addr, 0, r, 4)
+	b.Exit()
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := codegen.Compile(p, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := NewDevice(gpu.V100())
+	buf := dev.MustAlloc(4 * 64)
+	if _, err := Launch(dev, LaunchSpec{
+		Kernel: k, Grid: D1(1), Block: D1(64), Params: []uint64{buf.Addr},
+	}, Config{}); err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	got, err := dev.ReadI32(buf, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lane, g := range got {
+		want := int32(0)
+		if lane&1 != 0 {
+			want = 2
+		}
+		if lane&2 != 0 {
+			want++
+		}
+		if g != want {
+			t.Fatalf("lane %d = %d, want %d", lane, g, want)
+		}
+	}
+}
+
+// TestDivergentLoopTripCounts runs a loop whose trip count differs per
+// lane (tid iterations), exercising loop-exit divergence: lanes leave the
+// loop at different times and must reconverge after it.
+func TestDivergentLoopTripCounts(t *testing.T) {
+	// acc = 0; for (i = 0; i < tid; i++) acc += 2; out[tid] = acc
+	b := kasm.NewBuilder("_Zdivloop", "sm_70", "dl.cu")
+	b.NumParams(1)
+	b.Line(1)
+	tid := b.TidX()
+	out := b.ParamPtr(0)
+	acc := b.MovImm(0)
+	i := b.MovImm(0)
+	// Guard the whole loop for tid == 0.
+	p := b.ISetp("GE", kasm.VR(i), kasm.VR(tid))
+	b.BraIf(p, false, "done")
+	b.LabelName("loop")
+	b.IAddTo(kasm.VR(acc), kasm.VR(acc), kasm.VImm(2))
+	b.IAddTo(kasm.VR(i), kasm.VR(i), kasm.VImm(1))
+	p2 := b.ISetp("LT", kasm.VR(i), kasm.VR(tid))
+	b.BraIf(p2, false, "loop")
+	b.LabelName("done")
+	off := b.Shl(kasm.VR(tid), 2)
+	addr := b.IMadWide(kasm.VR(off), kasm.VImm(1), out)
+	b.Stg(addr, 0, acc, 4)
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := codegen.Compile(prog, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := NewDevice(gpu.V100())
+	buf := dev.MustAlloc(4 * 96)
+	if _, err := Launch(dev, LaunchSpec{
+		Kernel: k, Grid: D1(1), Block: D1(96), Params: []uint64{buf.Addr},
+	}, Config{}); err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	got, err := dev.ReadI32(buf, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lane, g := range got {
+		if g != int32(2*lane) {
+			t.Fatalf("lane %d = %d, want %d", lane, g, 2*lane)
+		}
+	}
+}
+
+// TestGuardedSpill compiles a kernel whose guarded (predicated) writes
+// target values that get spilled: the spill stores must inherit the
+// guard, or inactive lanes would corrupt the slot.
+func TestGuardedSpill(t *testing.T) {
+	const n = 20
+	b := kasm.NewBuilder("_Zgspill", "sm_70", "gs.cu")
+	b.NumParams(2)
+	b.Line(1)
+	tid := b.TidX()
+	in := b.ParamPtr(0)
+	out := b.ParamPtr(1)
+	base := b.IMul(kasm.VR(tid), kasm.VImm(n*4))
+	addr := b.IMadWide(kasm.VR(base), kasm.VImm(1), in)
+	vals := make([]kasm.VReg, n)
+	for j := 0; j < n; j++ {
+		vals[j] = b.Ldg(addr, int64(4*j), 4, false)
+	}
+	// Odd lanes double every value; even lanes keep the loads.
+	bit := b.And(kasm.VR(tid), kasm.VImm(1))
+	p := b.ISetp("NE", kasm.VR(bit), kasm.VImm(0))
+	for j := 0; j < n; j++ {
+		b.WithPred(p, false, func() {
+			b.IAddTo(kasm.VR(vals[j]), kasm.VR(vals[j]), kasm.VR(vals[j]))
+		})
+	}
+	b.FreePred(p)
+	sum := b.IAdd(kasm.VR(vals[0]), kasm.VR(vals[1]))
+	for j := 2; j < n; j++ {
+		b.IAddTo(kasm.VR(sum), kasm.VR(sum), kasm.VR(vals[j]))
+	}
+	oOff := b.Shl(kasm.VR(tid), 2)
+	oAddr := b.IMadWide(kasm.VR(oOff), kasm.VImm(1), out)
+	b.Stg(oAddr, 0, sum, 4)
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := codegen.Compile(prog, codegen.Options{MaxRegs: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops := k.CountOpcodes(); ops[sass.OpSTL] == 0 {
+		t.Fatal("budget did not force spilling; test is vacuous")
+	}
+
+	dev := NewDevice(gpu.V100())
+	inBuf := dev.MustAlloc(4 * 64 * n)
+	outBuf := dev.MustAlloc(4 * 64)
+	data := make([]int32, 64*n)
+	for i := range data {
+		data[i] = int32(i%9 + 1)
+	}
+	if err := dev.WriteI32(inBuf, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Launch(dev, LaunchSpec{
+		Kernel: k, Grid: D1(1), Block: D1(64),
+		Params: []uint64{inBuf.Addr, outBuf.Addr},
+	}, Config{}); err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	got, err := dev.ReadI32(outBuf, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lane, g := range got {
+		var want int32
+		for j := 0; j < n; j++ {
+			v := data[lane*n+j]
+			if lane&1 != 0 {
+				v *= 2
+			}
+			want += v
+		}
+		if g != want {
+			t.Fatalf("lane %d = %d, want %d", lane, g, want)
+		}
+	}
+}

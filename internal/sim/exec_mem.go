@@ -1,0 +1,305 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gpuscout/internal/sass"
+)
+
+// execMem functionally executes a memory instruction and returns its
+// access descriptor for the timing model.
+func (e *engine) execMem(w *warp, in *sass.Inst, execMask uint32) (memAccess, error) {
+	ma := memAccess{valid: execMask != 0, mask: execMask, width: in.WidthBytes()}
+
+	mem, hasMem := in.MemOperand()
+	lanes := func(f func(lane int) error) error {
+		for lane := 0; lane < 32; lane++ {
+			if execMask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			if err := f(lane); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	switch in.Op {
+	case sass.OpLDG, sass.OpSTG, sass.OpATOM, sass.OpRED:
+		ma.space = sass.ClassGlobal
+		ma.nc = in.IsNC()
+		if !hasMem {
+			return ma, fmt.Errorf("%s without memory operand", in.Op)
+		}
+		switch in.Op {
+		case sass.OpLDG:
+			err := lanes(func(lane int) error {
+				addr := w.rd64(mem.Reg, lane) + uint64(mem.Imm)
+				ma.addrs[lane] = addr
+				var buf [4]uint32
+				if err := e.dev.load(addr, ma.width, &buf); err != nil {
+					return err
+				}
+				for i := 0; i < ma.width/4; i++ {
+					w.wr(in.Dst[0].Reg+sass.Reg(i), lane, buf[i])
+				}
+				return nil
+			})
+			return ma, err
+		case sass.OpSTG:
+			ma.write = true
+			err := lanes(func(lane int) error {
+				addr := w.rd64(mem.Reg, lane) + uint64(mem.Imm)
+				ma.addrs[lane] = addr
+				var buf [4]uint32
+				for i := 0; i < ma.width/4; i++ {
+					buf[i] = w.rd(in.Src[0].Reg+sass.Reg(i), lane)
+				}
+				return e.dev.store(addr, ma.width, &buf)
+			})
+			return ma, err
+		default: // ATOM / RED
+			ma.atomic = true
+			ma.write = true
+			ma.width = 4
+			err := lanes(func(lane int) error {
+				addr := w.rd64(mem.Reg, lane) + uint64(mem.Imm)
+				ma.addrs[lane] = addr
+				v, err := e.val(w, in.Src[0], lane)
+				if err != nil {
+					return err
+				}
+				old, err := e.atomGlobal(addr, in, v)
+				if err != nil {
+					return err
+				}
+				if in.Op == sass.OpATOM && in.Dst[0].Kind == sass.OpdReg {
+					w.wr(in.Dst[0].Reg, lane, old)
+				}
+				return nil
+			})
+			return ma, err
+		}
+
+	case sass.OpLDL, sass.OpSTL:
+		ma.space = sass.ClassLocal
+		localBytes := len(w.localMem) / 32
+		laneAddr := func(lane int) (int, error) {
+			base := uint32(0)
+			if mem.Reg != sass.RZ {
+				base = w.rd(mem.Reg, lane)
+			}
+			off := int(int32(base)) + int(mem.Imm)
+			if off < 0 || off+ma.width > localBytes {
+				return 0, fmt.Errorf("local access at %d exceeds %d bytes of local memory", off, localBytes)
+			}
+			// The per-lane global-equivalent address interleaves threads,
+			// which is how local memory is physically laid out (coalesced
+			// across the warp); this feeds the cache model.
+			ma.addrs[lane] = e.localBase + uint64(w.gid)*uint64(32*localBytes) +
+				uint64(off)*32 + uint64(lane*4)
+			return lane*localBytes + off, nil
+		}
+		if in.Op == sass.OpLDL {
+			err := lanes(func(lane int) error {
+				off, err := laneAddr(lane)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < ma.width/4; i++ {
+					w.wr(in.Dst[0].Reg+sass.Reg(i), lane, binary.LittleEndian.Uint32(w.localMem[off+4*i:]))
+				}
+				return nil
+			})
+			return ma, err
+		}
+		ma.write = true
+		err := lanes(func(lane int) error {
+			off, err := laneAddr(lane)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < ma.width/4; i++ {
+				binary.LittleEndian.PutUint32(w.localMem[off+4*i:], w.rd(in.Src[0].Reg+sass.Reg(i), lane))
+			}
+			return nil
+		})
+		return ma, err
+
+	case sass.OpLDS, sass.OpSTS, sass.OpATOMS:
+		ma.space = sass.ClassShared
+		shared := w.block.shared
+		laneOff := func(lane int) (int, error) {
+			base := uint32(0)
+			if mem.Reg != sass.RZ {
+				base = w.rd(mem.Reg, lane)
+			}
+			off := int(int32(base)) + int(mem.Imm)
+			if off < 0 || off+ma.width > len(shared) {
+				return 0, fmt.Errorf("shared access at %d exceeds %d bytes of shared memory", off, len(shared))
+			}
+			ma.addrs[lane] = uint64(off)
+			return off, nil
+		}
+		switch in.Op {
+		case sass.OpLDS:
+			err := lanes(func(lane int) error {
+				off, err := laneOff(lane)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < ma.width/4; i++ {
+					w.wr(in.Dst[0].Reg+sass.Reg(i), lane, binary.LittleEndian.Uint32(shared[off+4*i:]))
+				}
+				return nil
+			})
+			return ma, err
+		case sass.OpSTS:
+			ma.write = true
+			err := lanes(func(lane int) error {
+				off, err := laneOff(lane)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < ma.width/4; i++ {
+					binary.LittleEndian.PutUint32(shared[off+4*i:], w.rd(in.Src[0].Reg+sass.Reg(i), lane))
+				}
+				return nil
+			})
+			return ma, err
+		default: // ATOMS
+			ma.atomic = true
+			ma.write = true
+			ma.width = 4
+			err := lanes(func(lane int) error {
+				off, err := laneOff(lane)
+				if err != nil {
+					return err
+				}
+				v, err := e.val(w, in.Src[0], lane)
+				if err != nil {
+					return err
+				}
+				old := binary.LittleEndian.Uint32(shared[off:])
+				binary.LittleEndian.PutUint32(shared[off:], atomApply(in, old, v))
+				if in.Dst[0].Kind == sass.OpdReg {
+					w.wr(in.Dst[0].Reg, lane, old)
+				}
+				return nil
+			})
+			return ma, err
+		}
+
+	case sass.OpLDC:
+		ma.space = sass.ClassConst
+		err := lanes(func(lane int) error {
+			base := uint32(0)
+			if hasMem && mem.Reg != sass.RZ {
+				base = w.rd(mem.Reg, lane)
+			}
+			off := int64(int32(base))
+			if hasMem {
+				off += mem.Imm
+			}
+			if off < 0 || int(off)+4 > len(e.constMem) {
+				return fmt.Errorf("LDC offset %#x out of constant bank", off)
+			}
+			w.wr(in.Dst[0].Reg, lane, binary.LittleEndian.Uint32(e.constMem[off:]))
+			return nil
+		})
+		return ma, err
+
+	case sass.OpTEX:
+		ma.space = sass.ClassTexture
+		ma.width = 4
+		texID64, err := e.val(w, in.Src[2], 0)
+		if err != nil {
+			return ma, err
+		}
+		tex, err := e.dev.texture(int(texID64))
+		if err != nil {
+			return ma, err
+		}
+		err = lanes(func(lane int) error {
+			xv, err1 := e.val(w, in.Src[0], lane)
+			yv, err2 := e.val(w, in.Src[1], lane)
+			if err := firstErr(err1, err2); err != nil {
+				return err
+			}
+			x, y := clamp(int(int32(xv)), tex.Width), clamp(int(int32(yv)), tex.Height)
+			addr := tex.Base + uint64(y*tex.Width+x)*4
+			ma.addrs[lane] = addr
+			var buf [4]uint32
+			if err := e.dev.load(addr, 4, &buf); err != nil {
+				return err
+			}
+			w.wr(in.Dst[0].Reg, lane, buf[0])
+			return nil
+		})
+		return ma, err
+	}
+	return ma, fmt.Errorf("execMem: %s unhandled", in.Op)
+}
+
+func clamp(v, n int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= n {
+		return n - 1
+	}
+	return v
+}
+
+// atomGlobal applies a global atomic to device memory, returning the old
+// 32-bit value.
+func (e *engine) atomGlobal(addr uint64, in *sass.Inst, v uint32) (uint32, error) {
+	var buf [4]uint32
+	if err := e.dev.load(addr, 4, &buf); err != nil {
+		return 0, err
+	}
+	old := buf[0]
+	buf[0] = atomApply(in, old, v)
+	if err := e.dev.store(addr, 4, &buf); err != nil {
+		return 0, err
+	}
+	return old, nil
+}
+
+// atomApply computes the read-modify-write result for ATOM/ATOMS/RED.
+func atomApply(in *sass.Inst, old, v uint32) uint32 {
+	isF32 := in.HasMod("F32")
+	switch {
+	case in.HasMod("ADD"):
+		if isF32 {
+			return b32(f32(old) + f32(v))
+		}
+		return old + v
+	case in.HasMod("MIN"):
+		if isF32 {
+			if f32(v) < f32(old) {
+				return v
+			}
+			return old
+		}
+		if int32(v) < int32(old) {
+			return v
+		}
+		return old
+	case in.HasMod("MAX"):
+		if isF32 {
+			if f32(v) > f32(old) {
+				return v
+			}
+			return old
+		}
+		if int32(v) > int32(old) {
+			return v
+		}
+		return old
+	case in.HasMod("EXCH"):
+		return v
+	}
+	return old + v
+}

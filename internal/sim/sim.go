@@ -1,0 +1,365 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"gpuscout/internal/gpu"
+	"gpuscout/internal/memsys"
+	"gpuscout/internal/sass"
+)
+
+// Config controls a simulated launch.
+type Config struct {
+	// SampleSMs caps how many SMs are simulated; blocks assigned to other
+	// SMs are accounted for by scaling (homogeneous-workload assumption,
+	// standard simulator practice). 0 means the default of 4.
+	SampleSMs int
+	// MaxCycles aborts runaway kernels. 0 means the default of 2e8.
+	MaxCycles float64
+}
+
+// LaunchSpec describes one kernel launch.
+type LaunchSpec struct {
+	Kernel *sass.Kernel
+	Grid   Dim3
+	Block  Dim3
+	// Params are the kernel's 8-byte argument slots (pointers as device
+	// addresses, 32-bit scalars in the low word), written to the constant
+	// bank at kasm.ParamBase.
+	Params []uint64
+}
+
+// engine holds everything one simulated launch needs.
+type engine struct {
+	dev     *Device
+	arch    gpu.Arch
+	kernel  *sass.Kernel
+	grid    Dim3
+	block   Dim3
+	cfg     Config
+	occ     gpu.Occupancy
+	nextGid int
+
+	constMem []byte
+	counters *Counters
+
+	reconvPC  []uint64
+	hasReconv []bool
+
+	// localBase is a synthetic address region where per-thread local
+	// memory lives for cache-modeling purposes.
+	localBase uint64
+}
+
+// paramBase mirrors kasm.ParamBase without importing it (sim is below
+// kasm in the package DAG).
+const paramBase = 0x160
+
+// Launch runs the kernel on the device and returns timing, stalls and
+// counters. Functional effects (buffer contents, atomics) are applied to
+// the device memory.
+func Launch(dev *Device, spec LaunchSpec, cfg Config) (*Result, error) {
+	k := spec.Kernel
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if spec.Grid.X <= 0 || spec.Grid.Y < 0 || spec.Grid.Z < 0 ||
+		spec.Block.X <= 0 || spec.Block.Y < 0 || spec.Block.Z < 0 {
+		return nil, fmt.Errorf("sim: empty grid/block %v/%v", spec.Grid, spec.Block)
+	}
+	if spec.Block.Count() > dev.Arch.MaxThreadsPerBlock {
+		return nil, fmt.Errorf("sim: block of %d threads exceeds limit %d", spec.Block.Count(), dev.Arch.MaxThreadsPerBlock)
+	}
+	occ, err := gpu.ComputeOccupancy(dev.Arch, k.NumRegs, k.SharedBytes, spec.Block.Count())
+	if err != nil {
+		return nil, fmt.Errorf("sim: occupancy: %w", err)
+	}
+	if cfg.SampleSMs <= 0 {
+		cfg.SampleSMs = 4
+	}
+	if cfg.MaxCycles <= 0 {
+		cfg.MaxCycles = 2e8
+	}
+
+	cfgCFG, err := sass.BuildCFG(k)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+
+	e := &engine{
+		dev:       dev,
+		arch:      dev.Arch,
+		kernel:    k,
+		grid:      spec.Grid,
+		block:     spec.Block,
+		cfg:       cfg,
+		occ:       occ,
+		counters:  newCounters(),
+		localBase: memBase + uint64(dev.Arch.DRAMBytes) + (1 << 40),
+	}
+
+	// Parameter area in constant bank 0.
+	e.constMem = make([]byte, paramBase+8*len(spec.Params))
+	for i, p := range spec.Params {
+		putU64(e.constMem[paramBase+8*i:], p)
+	}
+	if k.ConstBytes > len(e.constMem) {
+		grown := make([]byte, k.ConstBytes)
+		copy(grown, e.constMem)
+		e.constMem = grown
+	}
+
+	// Precompute per-instruction reconvergence PCs.
+	e.reconvPC = make([]uint64, len(k.Insts))
+	e.hasReconv = make([]bool, len(k.Insts))
+	for i := range k.Insts {
+		if k.Insts[i].Op == sass.OpBRA {
+			pc, ok := cfgCFG.IPDomPC(i)
+			e.reconvPC[i], e.hasReconv[i] = pc, ok
+		}
+	}
+
+	// Distribute blocks round-robin over all NumSMs; simulate a sample.
+	totalBlocks := spec.Grid.Count()
+	simSMs := e.arch.NumSMs
+	if simSMs > cfg.SampleSMs {
+		simSMs = cfg.SampleSMs
+	}
+	if simSMs > totalBlocks {
+		simSMs = totalBlocks
+	}
+
+	var maxFinish float64
+	var smFinish []float64
+	simulatedBlocks := 0
+	for smID := 0; smID < simSMs; smID++ {
+		blocks := blocksForSM(spec.Grid, smID, e.arch.NumSMs)
+		if len(blocks) == 0 {
+			continue
+		}
+		simulatedBlocks += len(blocks)
+		finish, err := e.runSM(smID, blocks)
+		if err != nil {
+			return nil, err
+		}
+		smFinish = append(smFinish, finish)
+		if finish > maxFinish {
+			maxFinish = finish
+		}
+	}
+	if simulatedBlocks == 0 {
+		return nil, fmt.Errorf("sim: no blocks simulated")
+	}
+
+	scale := float64(totalBlocks) / float64(simulatedBlocks)
+	res := &Result{
+		Kernel:          k.Name,
+		Grid:            spec.Grid,
+		Block:           spec.Block,
+		Cycles:          maxFinish,
+		DurationSec:     e.arch.CyclesToSeconds(uint64(maxFinish)),
+		Occupancy:       occ,
+		Scale:           scale,
+		SimulatedBlocks: simulatedBlocks,
+		TotalBlocks:     totalBlocks,
+		NumSMs:          e.arch.NumSMs,
+		SimulatedSMs:    simSMs,
+		SMFinish:        smFinish,
+		Counters:        e.counters,
+	}
+	if e.counters.SMBusyCycles > 0 {
+		res.AchievedOccupancy = e.counters.ActiveWarpCycles /
+			(e.counters.SMBusyCycles * float64(e.arch.MaxWarpsPerSM))
+	}
+	return res, nil
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// blocksForSM lists the block indices assigned to one SM under
+// round-robin rasterization (X-major, then Y, then Z).
+func blocksForSM(grid Dim3, smID, numSMs int) []Dim3 {
+	var out []Dim3
+	gx, gy, gz := grid.X, grid.Y, grid.Z
+	if gx == 0 {
+		gx = 1
+	}
+	if gy == 0 {
+		gy = 1
+	}
+	if gz == 0 {
+		gz = 1
+	}
+	total := gx * gy * gz
+	for lin := smID; lin < total; lin += numSMs {
+		out = append(out, Dim3{X: lin % gx, Y: (lin / gx) % gy, Z: lin / (gx * gy)})
+	}
+	return out
+}
+
+// ipdomPC returns the reconvergence PC of the branch at instruction idx.
+func (e *engine) ipdomPC(idx int) (uint64, bool) {
+	return e.reconvPC[idx], e.hasReconv[idx]
+}
+
+// newSM builds the per-SM timing state with this SM's bandwidth slices.
+func (e *engine) newSM(id int) *smState {
+	a := &e.arch
+	l2SliceBytes := a.L2Bytes / a.NumSMs
+	// Keep cache geometry valid: at least one set of full associativity.
+	minBytes := a.L2LineBytes * a.L2Ways
+	if l2SliceBytes < minBytes {
+		l2SliceBytes = minBytes
+	} else {
+		l2SliceBytes = l2SliceBytes / minBytes * minBytes
+	}
+	return &smState{
+		id: id,
+		l1: memsys.NewCache(memsys.CacheConfig{
+			Name: "l1tex", TotalBytes: a.L1Bytes, LineBytes: a.L1LineBytes,
+			SectorBytes: a.L1SectorBytes, Ways: a.L1Ways,
+		}),
+		l2: memsys.NewCache(memsys.CacheConfig{
+			Name: "lts", TotalBytes: l2SliceBytes, LineBytes: a.L2LineBytes,
+			SectorBytes: a.L1SectorBytes, Ways: a.L2Ways,
+		}),
+		lsu:     memsys.NewBandwidth(float64(a.L1SectorBytes)), // 1 sector/cycle
+		texu:    memsys.NewBandwidth(float64(a.L1SectorBytes)), // 1 sector/cycle
+		mio:     memsys.NewBandwidth(1),                        // 1 transaction/cycle
+		l2bw:    memsys.NewBandwidth(a.L2BWBytes / float64(a.NumSMs)),
+		dram:    memsys.NewBandwidth(a.DRAMBWBytes / float64(a.NumSMs)),
+		scratch: make([]sass.Reg, 0, 16),
+	}
+}
+
+// runSM simulates all blocks assigned to one SM and returns its finish
+// time in cycles.
+func (e *engine) runSM(smID int, blockIdxs []Dim3) (float64, error) {
+	sm := e.newSM(smID)
+	resident := e.occ.BlocksPerSM
+	if resident > len(blockIdxs) {
+		resident = len(blockIdxs)
+	}
+	for i := 0; i < resident; i++ {
+		e.launchBlock(sm, blockIdxs[i])
+	}
+	sm.pending = append(sm.pending, blockIdxs[resident:]...)
+
+	numSched := e.arch.NumSchedulers
+	if numSched < 1 || numSched > len(sm.lastPick) {
+		numSched = 4
+	}
+
+	for {
+		// Completion check and per-warp classification. Snapshot the warp
+		// list: issuing an EXIT can retire a block and launch a pending
+		// one, appending warps that are only considered next iteration.
+		// Classifications are cached: a blocked warp cannot unblock before
+		// its recorded event, so it is only re-examined then (or when its
+		// own state changes).
+		warps := sm.warps
+		liveWarps := 0
+		allDone := true
+		for _, w := range warps {
+			if w.done {
+				continue
+			}
+			allDone = false
+			liveWarps++
+			if !w.clsValid || w.cls.eligible || w.cls.event <= sm.now {
+				w.cls = e.classify(sm, w)
+				w.clsValid = true
+			}
+		}
+		if allDone {
+			if len(sm.pending) > 0 {
+				// Should be unreachable: retireWarp refills eagerly.
+				idx := sm.pending[0]
+				sm.pending = sm.pending[1:]
+				e.launchBlock(sm, idx)
+				continue
+			}
+			break
+		}
+
+		// Scheduling: each scheduler issues at most one eligible warp,
+		// greedy-then-oldest.
+		issued := 0
+		for sched := 0; sched < numSched; sched++ {
+			var pick *warp
+			if last := sm.lastPick[sched]; last != nil && !last.done && last.cls.eligible {
+				pick = last
+			}
+			if pick == nil {
+				for _, w := range warps {
+					if w.done || w.gid%numSched != sched || !w.cls.eligible {
+						continue
+					}
+					pick = w
+					break
+				}
+			}
+			if pick == nil {
+				continue
+			}
+			sm.lastPick[sched] = pick
+			pc := pick.cls.pc
+			if err := e.issue(sm, pick); err != nil {
+				return 0, err
+			}
+			e.counters.addStall(pc, StallSelected, 1)
+			pick.cls.eligible = false
+			pick.cls.reason = StallSelected
+			pick.clsValid = false
+			issued++
+		}
+
+		// Advance time and attribute stall cycles.
+		dt := 1.0
+		if issued == 0 {
+			next := math.Inf(1)
+			for _, w := range warps {
+				if w.done {
+					continue
+				}
+				if t := w.cls.event; t < next {
+					next = t
+				}
+			}
+			if math.IsInf(next, 1) {
+				return 0, fmt.Errorf("sim: deadlock on SM %d at cycle %.0f (kernel %s): all %d warps blocked",
+					smID, sm.now, e.kernel.Name, liveWarps)
+			}
+			if next <= sm.now {
+				next = sm.now + 1
+			}
+			dt = next - sm.now
+		}
+		for _, w := range warps {
+			if w.done || (!w.clsValid && w.cls.reason == StallSelected) {
+				continue
+			}
+			if !w.clsValid {
+				// Just issued this cycle; already attributed as selected.
+				continue
+			}
+			reason := w.cls.reason
+			if w.cls.eligible {
+				reason = StallNotSelected
+			}
+			e.counters.addStall(w.cls.pc, reason, dt)
+		}
+		e.counters.ActiveWarpCycles += float64(liveWarps) * dt
+		sm.now += dt
+		if sm.now > e.cfg.MaxCycles {
+			return 0, fmt.Errorf("sim: kernel %s exceeded %g cycles on SM %d", e.kernel.Name, e.cfg.MaxCycles, smID)
+		}
+	}
+	e.counters.SMBusyCycles += sm.now
+	return sm.now, nil
+}

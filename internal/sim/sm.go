@@ -1,0 +1,502 @@
+package sim
+
+import (
+	"math"
+
+	"gpuscout/internal/memsys"
+	"gpuscout/internal/sass"
+)
+
+// queueRing tracks completion times of in-flight operations in an issue
+// queue (LG / MIO / TEX). Entries whose completion is in the past no
+// longer occupy a slot.
+type queueRing struct {
+	times []float64
+}
+
+func (q *queueRing) push(t float64) { q.times = append(q.times, t) }
+
+// inflight counts entries still pending at time now, compacting as a side
+// effect.
+func (q *queueRing) inflight(now float64) int {
+	n := 0
+	for _, t := range q.times {
+		if t > now {
+			q.times[n] = t
+			n++
+		}
+	}
+	q.times = q.times[:n]
+	return n
+}
+
+// earliest returns the soonest completion among pending entries.
+func (q *queueRing) earliest() float64 {
+	e := math.Inf(1)
+	for _, t := range q.times {
+		if t < e {
+			e = t
+		}
+	}
+	return e
+}
+
+// admit returns the earliest time >= now at which a new entry fits under
+// the given capacity: when full, a request waits for the k-th soonest
+// completion. Models MSHR admission.
+func (q *queueRing) admit(now float64, capacity int) float64 {
+	n := q.inflight(now)
+	if n < capacity {
+		return now
+	}
+	// Need (n - capacity + 1) completions; find that order statistic.
+	need := n - capacity + 1
+	tmp := append([]float64(nil), q.times...)
+	sortFloats(tmp)
+	return tmp[need-1]
+}
+
+func sortFloats(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// smState is the timing state of one simulated streaming multiprocessor.
+type smState struct {
+	id  int
+	now float64
+
+	l1   *memsys.Cache     // unified L1TEX data cache (global/local/texture)
+	l2   *memsys.Cache     // this SM's slice of the chip L2
+	lsu  *memsys.Bandwidth // LSU sector wavefront service
+	texu *memsys.Bandwidth // TEX unit sector service
+	mio  *memsys.Bandwidth // shared-memory transaction service
+	l2bw *memsys.Bandwidth // L2 slice bandwidth
+	dram *memsys.Bandwidth // DRAM bandwidth slice
+
+	lgQ, mioQ, texQ  queueRing
+	lsuMiss, texMiss queueRing // outstanding L1 misses (MSHR occupancy)
+
+	fp64Free float64
+	sfuFree  float64
+	atomFree float64
+
+	warps   []*warp
+	blocks  []*blockState
+	pending []Dim3 // block indices not yet launched
+
+	lastPick [8]*warp // per-scheduler greedy pointer (GTO)
+
+	scratch []sass.Reg
+}
+
+// classification of one warp at one instant.
+type wclass struct {
+	reason   Stall
+	event    float64 // when the condition may clear (+Inf if externally driven)
+	eligible bool
+	pc       uint64
+}
+
+// classify determines whether warp w can issue now, and if not, why and
+// until when. This function is both the scheduler's eligibility test and
+// the source of stall attribution (and hence of PC sampling data).
+func (e *engine) classify(sm *smState, w *warp) wclass {
+	if w.atBarrier {
+		return wclass{reason: StallBarrier, event: math.Inf(1), pc: w.pc}
+	}
+	if w.readyAt > sm.now {
+		return wclass{reason: w.waitReason, event: w.readyAt, pc: w.pc}
+	}
+	in := e.kernel.InstAt(w.pc)
+	if in == nil {
+		// Should be unreachable: Validate guarantees EXIT termination.
+		return wclass{reason: StallDrain, event: math.Inf(1), pc: w.pc}
+	}
+
+	// Register dependencies (dynamic scoreboard).
+	regs := in.SrcRegs(sm.scratch[:0])
+	regs = in.DstRegs(regs)
+	var blockUntil float64
+	var blockClass sass.Class
+	blocked := false
+	for _, r := range regs {
+		if int(r) < len(w.regReady) && w.regReady[r] > sm.now {
+			if !blocked || w.regReady[r] > blockUntil {
+				blockUntil = w.regReady[r]
+				blockClass = w.regSrc[r]
+			}
+			blocked = true
+		}
+	}
+	if blocked {
+		return wclass{reason: stallForClass(blockClass), event: blockUntil, pc: w.pc}
+	}
+
+	// Structural hazards.
+	a := &e.arch
+	switch sass.ClassOf(in.Op) {
+	case sass.ClassGlobal, sass.ClassLocal:
+		if sm.lgQ.inflight(sm.now) >= a.LGQueueDepth {
+			return wclass{reason: StallLGThrottle, event: sm.lgQ.earliest(), pc: w.pc}
+		}
+	case sass.ClassShared:
+		if sm.mioQ.inflight(sm.now) >= a.MIOQueueDepth {
+			return wclass{reason: StallMIOThrottle, event: sm.mioQ.earliest(), pc: w.pc}
+		}
+	case sass.ClassTexture:
+		if sm.texQ.inflight(sm.now) >= a.TEXQueueDepth {
+			return wclass{reason: StallTexThrottle, event: sm.texQ.earliest(), pc: w.pc}
+		}
+	case sass.ClassFP64:
+		if sm.fp64Free > sm.now {
+			return wclass{reason: StallMathPipeThrottle, event: sm.fp64Free, pc: w.pc}
+		}
+	case sass.ClassSFU:
+		if sm.sfuFree > sm.now {
+			return wclass{reason: StallMathPipeThrottle, event: sm.sfuFree, pc: w.pc}
+		}
+	}
+	if in.Op == sass.OpEXIT && w.lastStoreDone > sm.now {
+		return wclass{reason: StallDrain, event: w.lastStoreDone, pc: w.pc}
+	}
+	return wclass{reason: StallSelected, eligible: true, event: sm.now, pc: w.pc}
+}
+
+// stallForClass maps the producing pipe of a pending register to the
+// dependent warp's stall reason.
+func stallForClass(c sass.Class) Stall {
+	switch c {
+	case sass.ClassGlobal, sass.ClassLocal, sass.ClassTexture:
+		return StallLongScoreboard
+	case sass.ClassShared:
+		return StallShortScoreboard
+	default:
+		return StallWait
+	}
+}
+
+// issue executes one instruction for warp w and applies its timing
+// effects. Returns the executed instruction for accounting.
+func (e *engine) issue(sm *smState, w *warp) error {
+	in := e.kernel.InstAt(w.pc)
+	execMask := w.guardMask(in)
+	ma, err := e.exec(w, in)
+	if err != nil {
+		return err
+	}
+
+	c := e.counters
+	c.WarpInsts++
+	c.ThreadInsts += uint64(popcount32(execMask))
+	c.OpcodeDyn[in.Op]++
+
+	a := &e.arch
+	w.readyAt = sm.now + 1
+	w.waitReason = StallWait
+
+	switch in.Op {
+	case sass.OpBRA:
+		w.readyAt = sm.now + 2
+		w.waitReason = StallBranchResolving
+	case sass.OpBAR:
+		if !w.done {
+			w.atBarrier = true
+			w.block.barArrived++
+			e.checkBarrier(sm, w.block)
+		}
+	case sass.OpEXIT:
+		if w.done {
+			e.retireWarp(sm, w)
+		}
+	}
+
+	if ma.valid {
+		e.memTiming(sm, w, in, ma)
+		return nil
+	}
+
+	// Fixed-latency results.
+	if in.Op == sass.OpSHFL {
+		// Shuffles execute on the MIO pipe on Volta: consumers see a
+		// short-scoreboard dependency.
+		svc := sm.mio.Request(sm.now, 1)
+		e.setDstReady(sm, w, in, (svc-sm.now)+float64(a.SharedLatency), sass.ClassShared)
+		return nil
+	}
+	switch sass.ClassOf(in.Op) {
+	case sass.ClassALU:
+		e.setDstReady(sm, w, in, float64(a.ALULatency), sass.ClassALU)
+	case sass.ClassFP64:
+		sm.fp64Free = sm.now + float64(a.FP64IssueRate)
+		e.setDstReady(sm, w, in, float64(a.FP64Latency), sass.ClassALU)
+	case sass.ClassSFU:
+		sm.sfuFree = sm.now + float64(a.SFUIssueRate)
+		e.setDstReady(sm, w, in, float64(a.SFULatency), sass.ClassALU)
+	}
+	return nil
+}
+
+func (e *engine) setDstReady(sm *smState, w *warp, in *sass.Inst, latency float64, src sass.Class) {
+	for _, r := range in.DstRegs(sm.scratch[:0]) {
+		if int(r) < len(w.regReady) {
+			w.regReady[r] = sm.now + latency
+			w.regSrc[r] = src
+		}
+	}
+}
+
+// memTiming applies the memory-system cost of an executed access and
+// schedules the destination registers' availability.
+func (e *engine) memTiming(sm *smState, w *warp, in *sass.Inst, ma memAccess) {
+	a := &e.arch
+	c := e.counters
+	now := sm.now
+	var active [32]bool
+	for lane := 0; lane < 32; lane++ {
+		active[lane] = ma.mask&(1<<uint(lane)) != 0
+	}
+
+	switch ma.space {
+	case sass.ClassGlobal, sass.ClassLocal:
+		sectors := memsys.CoalesceSectors(a.L1SectorBytes, ma.addrs[:], active[:], ma.width)
+		done := now
+		svcEnd := now
+		if ma.atomic {
+			// Atomics bypass L1 and resolve at the L2 atomic units. Every
+			// active lane is a read-modify-write: lanes hitting the same
+			// address serialize fully — the §4.4 global-atomic cost.
+			lanes := popcount32(ma.mask)
+			start := math.Max(now, sm.atomFree)
+			sm.atomFree = start + 2*float64(lanes)
+			svcEnd = sm.atomFree
+			for _, s := range sectors {
+				lat := e.l2Access(sm, s, true)
+				if t := sm.atomFree + lat; t > done {
+					done = t
+				}
+			}
+			c.GlobalAtomics += uint64(lanes)
+		} else {
+			useRO := ma.nc
+			for _, s := range sectors {
+				svc := sm.lsu.Request(now, a.L1SectorBytes)
+				if svc > svcEnd {
+					svcEnd = svc
+				}
+				hit := sm.l1.AccessSector(s, ma.write)
+				lat := float64(a.L1HitLatency)
+				if ma.write {
+					// Volta's L1 is write-through: every store sector goes
+					// to L2 regardless of the L1 state (uncoalesced stores
+					// therefore hammer L2 bandwidth).
+					e.l2Access(sm, s, true)
+				} else if !hit {
+					// An L1 miss occupies an MSHR until data returns; when
+					// all MSHRs are busy the miss waits for a free slot.
+					start := sm.lsuMiss.admit(svc, a.LSUMSHRs)
+					lat += (start - svc) + e.l2Access(sm, s, ma.write)
+					sm.lsuMiss.push(svc + lat)
+				}
+				if useRO {
+					c.TexSectors++
+					if hit {
+						c.TexSectorHits++
+					}
+				} else if ma.space == sass.ClassGlobal {
+					if ma.write {
+						c.GlobalStSectors++
+					} else {
+						c.GlobalLdSectors++
+						if hit {
+							c.GlobalLdSectorHits++
+						}
+					}
+				} else {
+					if ma.write {
+						c.LocalStSectors++
+					} else {
+						c.LocalLdSectors++
+						if hit {
+							c.LocalLdSectorHits++
+						}
+					}
+				}
+				if t := svc + lat; t > done {
+					done = t
+				}
+			}
+		}
+		// The LG instruction queue holds the request until the L1TEX unit
+		// accepts it (service), not until data returns — lg_throttle is
+		// about issue backlog (§3.2).
+		sm.lgQ.push(svcEnd)
+		if sass.IsLoad(in.Op) || (ma.atomic && in.Op == sass.OpATOM) {
+			e.setDstReady(sm, w, in, done-now, ma.space)
+		} else if svcEnd > w.lastStoreDone {
+			// Stores are posted: the warp may exit once the write is
+			// accepted by the memory system, not when it lands in DRAM.
+			w.lastStoreDone = svcEnd
+		}
+		switch {
+		case in.Op == sass.OpLDG:
+			c.GlobalLdInsts++
+		case in.Op == sass.OpSTG:
+			c.GlobalStInsts++
+		case in.Op == sass.OpLDL:
+			c.LocalLdInsts++
+		case in.Op == sass.OpSTL:
+			c.LocalStInsts++
+		}
+
+	case sass.ClassShared:
+		var trans int
+		if ma.atomic {
+			// Shared atomics serialize per lane on conflicting banks and
+			// words in the MIO pipe (§4.4: cheaper than global, but loads
+			// the MIO pipeline).
+			trans = memsys.AtomicConflicts(a.SharedBanks, ma.addrs[:], active[:])
+			c.SharedAtomics += uint64(popcount32(ma.mask))
+		} else {
+			trans = memsys.BankConflicts(a.SharedBanks, ma.addrs[:], active[:], ma.width)
+		}
+		if trans == 0 {
+			trans = 1
+		}
+		svc := sm.mio.Request(now, trans)
+		done := svc + float64(a.SharedLatency)
+		sm.mioQ.push(svc)
+		if in.Op == sass.OpLDS || in.Op == sass.OpATOMS {
+			e.setDstReady(sm, w, in, done-now, sass.ClassShared)
+		} else if svc > w.lastStoreDone {
+			w.lastStoreDone = svc
+		}
+		switch in.Op {
+		case sass.OpLDS:
+			c.SharedLdInsts++
+			c.SharedLdTrans += uint64(trans)
+		case sass.OpSTS:
+			c.SharedStInsts++
+			c.SharedStTrans += uint64(trans)
+		case sass.OpATOMS:
+			c.SharedLdTrans += uint64(trans)
+		}
+
+	case sass.ClassTexture:
+		sectors := memsys.CoalesceSectors(a.L1SectorBytes, ma.addrs[:], active[:], ma.width)
+		done := now
+		svcEnd := now
+		for _, s := range sectors {
+			svc := sm.texu.Request(now, a.L1SectorBytes)
+			if svc > svcEnd {
+				svcEnd = svc
+			}
+			hit := sm.l1.AccessSector(s, false)
+			lat := float64(a.TexLatency)
+			if !hit {
+				start := sm.texMiss.admit(svc, a.TEXMSHRs)
+				lat += (start - svc) + e.l2Access(sm, s, false)
+				sm.texMiss.push(svc + lat)
+			}
+			c.TexSectors++
+			if hit {
+				c.TexSectorHits++
+			}
+			if t := svc + lat; t > done {
+				done = t
+			}
+		}
+		sm.texQ.push(svcEnd)
+		c.TexInsts++
+		e.setDstReady(sm, w, in, done-now, sass.ClassTexture)
+
+	case sass.ClassConst:
+		// Constant cache: fast uniform path.
+		e.setDstReady(sm, w, in, 8, sass.ClassALU)
+	}
+}
+
+// l2Access models one 32-byte sector request to this SM's L2 slice and,
+// on miss, to DRAM. It returns the added latency beyond L1.
+func (e *engine) l2Access(sm *smState, sector uint64, write bool) float64 {
+	a := &e.arch
+	c := e.counters
+	q := sm.l2bw.QueueDelay(sm.now)
+	sm.l2bw.Request(sm.now, a.L1SectorBytes)
+	hit := sm.l2.AccessSector(sector, write)
+	c.L2Sectors++
+	if write {
+		c.L2WriteSectors++
+	} else {
+		c.L2ReadSectors++
+	}
+	lat := q + float64(a.L2HitLatency)
+	if hit {
+		c.L2Hits++
+		return lat
+	}
+	dq := sm.dram.QueueDelay(sm.now)
+	sm.dram.Request(sm.now, a.L1SectorBytes)
+	if write {
+		c.DRAMWriteBytes += uint64(a.L1SectorBytes)
+	} else {
+		c.DRAMReadBytes += uint64(a.L1SectorBytes)
+	}
+	return lat + dq + float64(a.DRAMLatency)
+}
+
+// checkBarrier releases a block's barrier when every live warp arrived.
+func (e *engine) checkBarrier(sm *smState, b *blockState) {
+	if b.liveWarps == 0 || b.barArrived < b.liveWarps {
+		return
+	}
+	for _, w := range b.warps {
+		if w.atBarrier {
+			w.atBarrier = false
+			w.readyAt = sm.now + 1
+			w.waitReason = StallWait
+			w.clsValid = false
+		}
+	}
+	b.barArrived = 0
+}
+
+// retireWarp handles warp completion: barrier re-check and block refill.
+func (e *engine) retireWarp(sm *smState, w *warp) {
+	b := w.block
+	b.liveWarps--
+	if b.liveWarps > 0 {
+		e.checkBarrier(sm, b)
+		return
+	}
+	// Block finished: launch a pending block if any.
+	if len(sm.pending) == 0 {
+		return
+	}
+	idx := sm.pending[0]
+	sm.pending = sm.pending[1:]
+	e.launchBlock(sm, idx)
+}
+
+// launchBlock creates a resident block and its warps on the SM.
+func (e *engine) launchBlock(sm *smState, idx Dim3) {
+	nb := &blockState{idx: idx, dim: e.block}
+	if e.kernel.SharedBytes > 0 {
+		nb.shared = make([]byte, e.kernel.SharedBytes)
+	}
+	threads := e.block.Count()
+	warps := (threads + 31) / 32
+	nb.liveWarps = warps
+	for i := 0; i < warps; i++ {
+		w := newWarp(i, e.nextGid, nb, e.kernel.NumRegs, e.kernel.LocalBytes)
+		e.nextGid++
+		w.readyAt = sm.now
+		w.waitReason = StallWait
+		nb.warps = append(nb.warps, w)
+		sm.warps = append(sm.warps, w)
+	}
+	sm.blocks = append(sm.blocks, nb)
+}

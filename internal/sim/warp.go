@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"gpuscout/internal/sass"
+)
+
+// Dim3 is a CUDA grid/block dimension triple.
+type Dim3 struct{ X, Y, Z int }
+
+// Count returns X*Y*Z (1 substituted for zero components).
+func (d Dim3) Count() int {
+	x, y, z := d.X, d.Y, d.Z
+	if x == 0 {
+		x = 1
+	}
+	if y == 0 {
+		y = 1
+	}
+	if z == 0 {
+		z = 1
+	}
+	return x * y * z
+}
+
+// D1 makes a one-dimensional Dim3.
+func D1(x int) Dim3 { return Dim3{X: x, Y: 1, Z: 1} }
+
+// D2 makes a two-dimensional Dim3.
+func D2(x, y int) Dim3 { return Dim3{X: x, Y: y, Z: 1} }
+
+// divEntry is one divergence-stack record: lanes waiting to run the other
+// side of a branch, and lanes already parked at the reconvergence point.
+type divEntry struct {
+	reconv    uint64
+	otherPC   uint64
+	otherMask uint32
+	joined    uint32
+}
+
+// blockState is the shared state of one resident CTA.
+type blockState struct {
+	idx        Dim3 // blockIdx
+	dim        Dim3 // blockDim
+	shared     []byte
+	warps      []*warp
+	liveWarps  int // warps not yet done
+	barArrived int // warps waiting at the current barrier
+}
+
+// warp is the execution state of one 32-thread warp: functional registers
+// and divergence state, plus the timing fields the SM engine drives.
+type warp struct {
+	id     int // warp index within the block
+	gid    int // global warp index (for stable scheduling order)
+	block  *blockState
+	pc     uint64
+	active uint32
+	stack  []divEntry
+	done   bool
+
+	regs  [][32]uint32 // [NumRegs][lane]
+	preds [sass.NumPreds][32]bool
+
+	localMem []byte // 32 * LocalBytes, lane-major segments
+
+	// Timing state (owned by the SM engine).
+	readyAt    float64
+	waitReason Stall        // why the warp is not ready before readyAt
+	regReady   []float64    // per physical register, cycle the value lands
+	regSrc     []sass.Class // producing pipe class, for stall attribution
+	atBarrier  bool
+	// stores outstanding; EXIT drains them.
+	lastStoreDone float64
+
+	// Cached scheduler classification (valid until cls.event or until the
+	// warp's state changes).
+	cls      wclass
+	clsValid bool
+}
+
+func newWarp(id, gid int, block *blockState, numRegs, localBytes int) *warp {
+	w := &warp{
+		id:    id,
+		gid:   gid,
+		block: block,
+		regs:  make([][32]uint32, numRegs),
+	}
+	if localBytes > 0 {
+		w.localMem = make([]byte, 32*localBytes)
+	}
+	w.regReady = make([]float64, numRegs)
+	w.regSrc = make([]sass.Class, numRegs)
+	// Activate only lanes whose linear thread id is inside the block.
+	threads := block.dim.Count()
+	for lane := 0; lane < 32; lane++ {
+		if id*32+lane < threads {
+			w.active |= 1 << uint(lane)
+		}
+	}
+	return w
+}
+
+// laneTid returns the (x,y,z) thread index of a lane in this warp.
+func (w *warp) laneTid(lane int) Dim3 {
+	lin := w.id*32 + lane
+	dx, dy := w.block.dim.X, w.block.dim.Y
+	if dx == 0 {
+		dx = 1
+	}
+	if dy == 0 {
+		dy = 1
+	}
+	return Dim3{X: lin % dx, Y: (lin / dx) % dy, Z: lin / (dx * dy)}
+}
+
+func (w *warp) rd(r sass.Reg, lane int) uint32 {
+	if r == sass.RZ {
+		return 0
+	}
+	return w.regs[r][lane]
+}
+
+func (w *warp) wr(r sass.Reg, lane int, v uint32) {
+	if r == sass.RZ {
+		return
+	}
+	w.regs[r][lane] = v
+}
+
+func (w *warp) rd64(r sass.Reg, lane int) uint64 {
+	return uint64(w.rd(r, lane)) | uint64(w.rd(r+1, lane))<<32
+}
+
+func (w *warp) wr64(r sass.Reg, lane int, v uint64) {
+	w.wr(r, lane, uint32(v))
+	w.wr(r+1, lane, uint32(v>>32))
+}
+
+func (w *warp) rdPred(p sass.Pred, lane int) bool {
+	if p == sass.PT {
+		return true
+	}
+	return w.preds[p][lane]
+}
+
+func (w *warp) wrPred(p sass.Pred, lane int, v bool) {
+	if p == sass.PT {
+		return
+	}
+	w.preds[p][lane] = v
+}
+
+// guardMask returns the lanes whose guard predicate passes.
+func (w *warp) guardMask(in *sass.Inst) uint32 {
+	if in.Pred == sass.PT && !in.PredNeg {
+		return w.active
+	}
+	var m uint32
+	for lane := 0; lane < 32; lane++ {
+		if w.active&(1<<uint(lane)) == 0 {
+			continue
+		}
+		v := w.rdPred(in.Pred, lane)
+		if in.PredNeg {
+			v = !v
+		}
+		if v {
+			m |= 1 << uint(lane)
+		}
+	}
+	return m
+}
+
+// maybeReconverge handles arrival at divergence-stack reconvergence
+// points and empty-mask continuation. It must be called whenever w.pc or
+// w.active changes. Returns false when the warp has fully exited.
+func (w *warp) maybeReconverge() bool {
+	for {
+		if len(w.stack) == 0 {
+			if w.active == 0 {
+				w.done = true
+				return false
+			}
+			return true
+		}
+		top := &w.stack[len(w.stack)-1]
+		if w.active != 0 && w.pc != top.reconv {
+			return true
+		}
+		if w.pc == top.reconv || w.active == 0 {
+			if top.otherMask != 0 {
+				// Park the arrived lanes; run the other side.
+				top.joined |= w.active
+				w.active = top.otherMask
+				w.pc = top.otherPC
+				top.otherMask = 0
+				continue
+			}
+			// Both sides done (or lanes exited): merge and pop. Lanes that
+			// exited mid-divergence leave active empty; the parked lanes
+			// resume at the reconvergence point.
+			if w.active == 0 {
+				w.pc = top.reconv
+			}
+			w.active |= top.joined
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		return true
+	}
+}

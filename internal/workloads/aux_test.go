@@ -1,0 +1,57 @@
+package workloads
+
+import (
+	"testing"
+
+	"gpuscout/internal/sass"
+	"gpuscout/internal/sim"
+)
+
+func TestSpillPressureWorkload(t *testing.T) {
+	w, res := runWorkload(t, "spill_pressure", 8, sim.Config{SampleSMs: 2})
+	ops := w.Kernel.CountOpcodes()
+	if ops[sass.OpSTL] == 0 || ops[sass.OpLDL] == 0 {
+		t.Fatalf("spill workload has no spill code: %d STL, %d LDL", ops[sass.OpSTL], ops[sass.OpLDL])
+	}
+	if w.Kernel.NumRegs > spillBudget {
+		t.Errorf("NumRegs = %d exceeds budget %d", w.Kernel.NumRegs, spillBudget)
+	}
+	if w.Kernel.LocalBytes == 0 {
+		t.Error("LocalBytes = 0")
+	}
+	if res.Counters.LocalLdSectors == 0 || res.Counters.LocalStSectors == 0 {
+		t.Error("no local memory traffic at runtime")
+	}
+	// §4.2: spills inside the loop drive LG pressure.
+	if res.Counters.StallCycles[sim.StallLGThrottle] <= 0 {
+		t.Error("no lg_throttle stalls despite in-loop spills")
+	}
+}
+
+func TestHistogramVariantsCorrect(t *testing.T) {
+	_, rg := runWorkload(t, "histogram_global", 8, sim.Config{SampleSMs: 2})
+	if rg.Counters.GlobalAtomics == 0 {
+		t.Error("global histogram shows no global atomics")
+	}
+	_, rs := runWorkload(t, "histogram_shared", 8, sim.Config{SampleSMs: 2})
+	if rs.Counters.SharedAtomics == 0 {
+		t.Error("shared histogram shows no shared atomics")
+	}
+	// The optimized variant trades device-wide serialization for
+	// block-level serialization: far fewer global atomics.
+	if rs.Counters.GlobalAtomics >= rg.Counters.GlobalAtomics {
+		t.Errorf("shared variant global atomics %d not below global variant %d",
+			rs.Counters.GlobalAtomics, rg.Counters.GlobalAtomics)
+	}
+}
+
+func TestHistogramSharedFaster(t *testing.T) {
+	// §4.4: shared atomics reduce the global-serialization penalty.
+	_, rg := runWorkload(t, "histogram_global", 16, sim.Config{SampleSMs: 1})
+	_, rs := runWorkload(t, "histogram_shared", 16, sim.Config{SampleSMs: 1})
+	speedup := rg.Cycles / rs.Cycles
+	t.Logf("shared-atomics speedup %.2fx (global %.0f, shared %.0f)", speedup, rg.Cycles, rs.Cycles)
+	if speedup < 1.1 {
+		t.Errorf("shared atomics not faster: %.2fx", speedup)
+	}
+}

@@ -1,0 +1,73 @@
+package workloads
+
+import (
+	"testing"
+
+	"gpuscout/internal/gpu"
+	"gpuscout/internal/sim"
+)
+
+// TestAllWorkloadsOnA100 runs every registered workload (small scale) on
+// the Ampere description: the kernels, the simulator and the analyses are
+// architecture-agnostic, the paper's extensibility claim.
+func TestAllWorkloadsOnA100(t *testing.T) {
+	arch := gpu.A100()
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			scale := 0
+			switch name {
+			case "mixbench_sp_naive", "mixbench_sp_vec4", "mixbench_dp_naive",
+				"mixbench_dp_vec4", "mixbench_int_naive", "mixbench_int_vec4":
+				scale = 4
+			case "jacobi_naive", "jacobi_texture", "jacobi_restrict", "jacobi_shared":
+				scale = 128
+			case "sgemm_naive", "sgemm_shared", "sgemm_shared_vec":
+				scale = 64
+			case "transpose_naive", "transpose_shared", "transpose_padded":
+				scale = 64
+			case "spill_pressure":
+				scale = 4
+			case "histogram_global", "histogram_shared":
+				scale = 4
+			}
+			w, err := Build(name, scale)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			dev := sim.NewDevice(arch)
+			res, err := Execute(w, dev, sim.Config{SampleSMs: 1})
+			if err != nil {
+				t.Fatalf("Execute on A100: %v", err)
+			}
+			if res.Cycles <= 0 || res.NumSMs != arch.NumSMs {
+				t.Errorf("bad result: cycles=%v NumSMs=%d", res.Cycles, res.NumSMs)
+			}
+		})
+	}
+}
+
+// TestA100FasterWhereItShouldBe spot-checks that the bigger machine wins
+// on a bandwidth-bound kernel.
+func TestA100FasterWhereItShouldBe(t *testing.T) {
+	w, err := Build("jacobi_naive", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devV := sim.NewDevice(gpu.V100())
+	resV, err := Execute(w, devV, sim.Config{SampleSMs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Build("jacobi_naive", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devA := sim.NewDevice(gpu.A100())
+	resA, err := Execute(w2, devA, sim.Config{SampleSMs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.DurationSec >= resV.DurationSec {
+		t.Errorf("A100 (%.3g s) not faster than V100 (%.3g s)", resA.DurationSec, resV.DurationSec)
+	}
+}

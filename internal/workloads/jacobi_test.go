@@ -1,0 +1,106 @@
+package workloads
+
+import (
+	"testing"
+
+	"gpuscout/internal/sass"
+	"gpuscout/internal/sim"
+)
+
+func TestJacobiVariantsCorrect(t *testing.T) {
+	for _, name := range []string{"jacobi_naive", "jacobi_texture", "jacobi_restrict", "jacobi_shared"} {
+		t.Run(name, func(t *testing.T) {
+			_, res := runWorkload(t, name, 128, sim.Config{SampleSMs: 2})
+			if res.Cycles <= 0 {
+				t.Error("no cycles")
+			}
+		})
+	}
+}
+
+func TestJacobiInstructionMix(t *testing.T) {
+	wn, err := Build("jacobi_naive", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := wn.Kernel.CountOpcodes()
+	// 5 stencil loads + 2 guarded boundary re-reads for left/right.
+	if ops[sass.OpLDG] != 7 {
+		t.Errorf("naive LDG count = %d, want 7", ops[sass.OpLDG])
+	}
+	// §4.7: exactly six I2F conversions.
+	if ops[sass.OpI2F] != 6 {
+		t.Errorf("I2F count = %d, want 6 (paper §5.2)", ops[sass.OpI2F])
+	}
+	if ops[sass.OpTEX] != 0 {
+		t.Error("naive variant has TEX instructions")
+	}
+
+	wt, err := Build("jacobi_texture", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops = wt.Kernel.CountOpcodes()
+	if ops[sass.OpTEX] != 5 || ops[sass.OpLDG] != 0 {
+		t.Errorf("texture variant: %d TEX, %d LDG; want 5, 0", ops[sass.OpTEX], ops[sass.OpLDG])
+	}
+
+	wr, err := Build("jacobi_restrict", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := 0
+	for i := range wr.Kernel.Insts {
+		in := &wr.Kernel.Insts[i]
+		if in.Op == sass.OpLDG && in.IsNC() {
+			nc++
+		}
+	}
+	if nc != 7 {
+		t.Errorf("restrict variant NC loads = %d, want 7", nc)
+	}
+
+	ws, err := Build("jacobi_shared", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops = ws.Kernel.CountOpcodes()
+	if ops[sass.OpLDS] == 0 || ops[sass.OpSTS] == 0 || ops[sass.OpBAR] == 0 {
+		t.Errorf("shared variant missing shared-memory traffic: %v", ops)
+	}
+	if ws.Kernel.SharedBytes < jacobiBx*jacobiBy*4 {
+		t.Errorf("shared variant SharedBytes = %d", ws.Kernel.SharedBytes)
+	}
+}
+
+func TestJacobiTextureSpeedsUpAndThrottles(t *testing.T) {
+	// §5.2: texture improved kernel duration by 39.2% (1.64x) and moved
+	// tex_throttle stalls from 0% to 24.65%.
+	_, rn := runWorkload(t, "jacobi_naive", 1024, sim.Config{SampleSMs: 1})
+	_, rt := runWorkload(t, "jacobi_texture", 1024, sim.Config{SampleSMs: 1})
+	speedup := rn.Cycles / rt.Cycles
+	t.Logf("texture speedup %.2fx (naive %.0f, texture %.0f)", speedup, rn.Cycles, rt.Cycles)
+	if speedup < 1.3 {
+		t.Errorf("texture variant not faster: %.2fx (paper: 1.64x)", speedup)
+	}
+	if rn.StallShare(sim.StallTexThrottle) != 0 {
+		t.Error("naive kernel reports tex_throttle stalls")
+	}
+	if rt.StallShare(sim.StallTexThrottle) <= 0 {
+		t.Error("texture kernel reports no tex_throttle stalls (paper: 24.65%)")
+	}
+	t.Logf("tex_throttle share: naive %.2f%%, texture %.2f%%",
+		100*rn.StallShare(sim.StallTexThrottle), 100*rt.StallShare(sim.StallTexThrottle))
+}
+
+func TestJacobiRestrictSmallEffect(t *testing.T) {
+	// §5.2: __restrict__ improved performance by only 0.3% — tiny but
+	// not harmful. Accept anything from "no change" to a modest win.
+	_, rn := runWorkload(t, "jacobi_naive", 256, sim.Config{SampleSMs: 2})
+	_, rr := runWorkload(t, "jacobi_restrict", 256, sim.Config{SampleSMs: 2})
+	ratio := rn.Cycles / rr.Cycles
+	t.Logf("restrict speedup %.3fx", ratio)
+	if ratio < 0.9 || ratio > 1.5 {
+		t.Errorf("restrict effect out of expected range: %.3fx (paper: +0.3%%)", ratio)
+	}
+}

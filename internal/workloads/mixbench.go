@@ -1,0 +1,363 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"gpuscout/internal/codegen"
+	"gpuscout/internal/kasm"
+	"gpuscout/internal/sim"
+)
+
+// Mixbench (§5.1): the mixed-operational-intensity benchmark_func kernel.
+// Every compute iteration re-reads GRANULARITY elements per thread from
+// global memory and applies a multiply-add. The naive variant issues
+// GRANULARITY scalar 32-bit (or 64-bit for double) loads from adjacent
+// addresses — exactly the §4.1 pattern GPUscout flags — and the "vec"
+// variant applies the paper's fix: 128-bit vectorized loads
+// (reinterpret_cast<float4*>, Listing 2).
+
+// MixType selects the mixbench datatype variant.
+type MixType int
+
+const (
+	MixSP  MixType = iota // single-precision float
+	MixDP                 // double precision
+	MixInt                // 32-bit integer
+)
+
+func (t MixType) String() string {
+	switch t {
+	case MixSP:
+		return "sp"
+	case MixDP:
+		return "dp"
+	default:
+		return "int"
+	}
+}
+
+const (
+	mixGranularity = 8   // elements per thread, divisible by 4 (§5.1)
+	mixBlock       = 256 // threads per block
+	mixBlocks      = 640 // grid blocks (8 per SM: a fully occupied V100)
+)
+
+var mixbenchSource = []string{
+	/* 1 */ `#define GRANULARITY 8`,
+	/* 2 */ `__global__ void benchmark_func(T seed, T* g_data) {`,
+	/* 3 */ `  const int gid = blockIdx.x * blockDim.x + threadIdx.x;`,
+	/* 4 */ `  T tmps[GRANULARITY];`,
+	/* 5 */ `  for (int i = 0; i < compute_iterations; i++) {`,
+	/* 6 */ `    for (int j = 0; j < GRANULARITY; j++) {`,
+	/* 7 */ `      tmps[j] = g_data[gid * GRANULARITY + j];`,
+	/* 8 */ `      tmps[j] = mad(tmps[j], tmps[j], seed);`,
+	/* 9 */ `    }`,
+	/* 10 */ `  }`,
+	/* 11 */ `  T sum = (T)0;`,
+	/* 12 */ `  for (int j = 0; j < GRANULARITY; j++) sum += tmps[j];`,
+	/* 13 */ `  g_data[gid * GRANULARITY] = sum;`,
+	/* 14 */ `}`,
+}
+
+// Mixbench builds one variant. computeIterations <= 0 selects the paper's
+// 96. vectorized applies the Listing-2 float4/double4/int4 modification.
+func Mixbench(t MixType, vectorized bool, computeIterations int) (*Workload, error) {
+	if computeIterations <= 0 {
+		computeIterations = 96
+	}
+	elem := 4
+	if t == MixDP {
+		elem = 8
+	}
+	variant := "naive"
+	if vectorized {
+		variant = "vec4"
+	}
+	name := fmt.Sprintf("_Z14benchmark_func%s%sPS_", map[MixType]string{MixSP: "f", MixDP: "d", MixInt: "i"}[t], "")
+	b := kasm.NewBuilder(name, "sm_70", "mixbench.cu")
+	b.SetSource(mixbenchSource)
+	b.NumParams(2)
+
+	// gid = blockIdx.x * blockDim.x + threadIdx.x
+	b.Line(3)
+	tid := b.TidX()
+	ctaid := b.CtaidX()
+	ntid := b.NTidX()
+	gid := b.IMad(kasm.VR(ctaid), kasm.VR(ntid), kasm.VR(tid))
+	gdata := b.ParamPtr(1)
+	off := b.IMul(kasm.VR(gid), kasm.VImm(int64(mixGranularity*elem)))
+	base := b.IMadWide(kasm.VR(off), kasm.VImm(1), gdata)
+
+	// seed in a register (pair for DP).
+	var seed kasm.VReg
+	if t == MixDP {
+		seed = b.ParamF64(0)
+	} else {
+		seed = b.Param32(0)
+	}
+
+	// Loop header.
+	b.Line(5)
+	i := b.MovImm(0)
+
+	elemsPerVec := 16 / elem
+	numVecs := mixGranularity / elemsPerVec
+	var tmps []kasm.VReg // naive: one vreg per element; vec: quad vregs
+
+	b.LabelName("iter_loop")
+	if !vectorized {
+		tmps = tmps[:0]
+		for j := 0; j < mixGranularity; j++ {
+			b.Line(7)
+			v := b.Ldg(base, int64(j*elem), elem, false)
+			b.Line(8)
+			tmps = append(tmps, mixMad(b, t, v, seed))
+		}
+	} else {
+		tmps = tmps[:0]
+		for v := 0; v < numVecs; v++ {
+			b.Line(7)
+			q := b.Ldg(base, int64(v*16), 16, false)
+			b.Line(8)
+			mixMadVec(b, t, q, seed)
+			tmps = append(tmps, q)
+		}
+	}
+	b.Line(5)
+	b.IAddTo(kasm.VR(i), kasm.VR(i), kasm.VImm(1))
+	p := b.ISetp("LT", kasm.VR(i), kasm.VImm(int64(computeIterations)))
+	b.BraIf(p, false, "iter_loop")
+	b.FreePred(p)
+
+	// Reduce and store.
+	b.Line(12)
+	sum := mixSum(b, t, vectorized, tmps)
+	b.Line(13)
+	b.Stg(base, 0, sum, elem)
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	k, err := codegen.Compile(prog, codegen.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	threads := mixBlock * mixBlocks
+	w := &Workload{
+		Name:        fmt.Sprintf("mixbench_%s_%s", t, variant),
+		Description: fmt.Sprintf("mixbench %s MAD kernel (%s loads, %d iterations)", t, variant, computeIterations),
+		Kernel:      k,
+		Prepare: func(dev *sim.Device) (*Run, error) {
+			buf, err := dev.Alloc(threads * mixGranularity * elem)
+			if err != nil {
+				return nil, err
+			}
+			var params []uint64
+			verify := func(dev *sim.Device, res *sim.Result) error { return nil }
+			switch t {
+			case MixDP:
+				seedVal := 0.01
+				data := make([]float64, threads*mixGranularity)
+				for idx := range data {
+					data[idx] = float64(idx%17) * 0.125
+				}
+				if err := dev.WriteF64(buf, data); err != nil {
+					return nil, err
+				}
+				params = []uint64{math.Float64bits(seedVal), buf.Addr}
+				verify = func(dev *sim.Device, res *sim.Result) error {
+					got, err := dev.ReadF64(buf, threads*mixGranularity)
+					if err != nil {
+						return err
+					}
+					return mixVerifyF64(data, got, seedVal, threads, res)
+				}
+			case MixInt:
+				seedVal := int32(3)
+				data := make([]int32, threads*mixGranularity)
+				for idx := range data {
+					data[idx] = int32(idx % 13)
+				}
+				if err := dev.WriteI32(buf, data); err != nil {
+					return nil, err
+				}
+				params = []uint64{uint64(uint32(seedVal)), buf.Addr}
+				verify = func(dev *sim.Device, res *sim.Result) error {
+					got, err := dev.ReadI32(buf, threads*mixGranularity)
+					if err != nil {
+						return err
+					}
+					return mixVerifyI32(data, got, seedVal, threads, res)
+				}
+			default:
+				seedVal := float32(0.01)
+				data := make([]float32, threads*mixGranularity)
+				for idx := range data {
+					data[idx] = float32(idx%17) * 0.125
+				}
+				if err := dev.WriteF32(buf, data); err != nil {
+					return nil, err
+				}
+				params = []uint64{uint64(math.Float32bits(seedVal)), buf.Addr}
+				verify = func(dev *sim.Device, res *sim.Result) error {
+					got, err := dev.ReadF32(buf, threads*mixGranularity)
+					if err != nil {
+						return err
+					}
+					return mixVerifyF32(data, got, seedVal, threads, res)
+				}
+			}
+			return &Run{
+				Spec: sim.LaunchSpec{
+					Kernel: k,
+					Grid:   sim.D1(mixBlocks),
+					Block:  sim.D1(mixBlock),
+					Params: params,
+				},
+				Verify: verify,
+			}, nil
+		},
+	}
+	return w, nil
+}
+
+// mixMad emits tmps = mad(v, v, seed) for a scalar element.
+func mixMad(b *kasm.Builder, t MixType, v, seed kasm.VReg) kasm.VReg {
+	switch t {
+	case MixDP:
+		return b.DFma(kasm.VR(v), kasm.VR(v), kasm.VR(seed))
+	case MixInt:
+		return b.IMad(kasm.VR(v), kasm.VR(v), kasm.VR(seed))
+	default:
+		return b.FFma(kasm.VR(v), kasm.VR(v), kasm.VR(seed))
+	}
+}
+
+// mixMadVec applies the mad element-wise, in place, to a 128-bit vector.
+func mixMadVec(b *kasm.Builder, t MixType, q, seed kasm.VReg) {
+	switch t {
+	case MixDP:
+		for e := 0; e < 4; e += 2 {
+			d := kasm.VRElem(q, e)
+			b.DFmaTo(d, d, d, kasm.VR(seed))
+		}
+	case MixInt:
+		for e := 0; e < 4; e++ {
+			d := kasm.VRElem(q, e)
+			b.IMadTo(d, d, d, kasm.VR(seed))
+		}
+	default:
+		for e := 0; e < 4; e++ {
+			d := kasm.VRElem(q, e)
+			b.FFmaTo(d, d, d, kasm.VR(seed))
+		}
+	}
+}
+
+// mixSum reduces the element registers to one scalar (pair for DP).
+func mixSum(b *kasm.Builder, t MixType, vectorized bool, tmps []kasm.VReg) kasm.VReg {
+	type elemRef = kasm.VOperand
+	var elems []elemRef
+	if vectorized {
+		step := 1
+		if t == MixDP {
+			step = 2
+		}
+		for _, q := range tmps {
+			for e := 0; e < 4; e += step {
+				elems = append(elems, kasm.VRElem(q, e))
+			}
+		}
+	} else {
+		for _, v := range tmps {
+			elems = append(elems, kasm.VR(v))
+		}
+	}
+	switch t {
+	case MixDP:
+		sum := b.DAdd(elems[0], elems[1])
+		for _, e := range elems[2:] {
+			b.DAddTo(kasm.VR(sum), kasm.VR(sum), e)
+		}
+		return sum
+	case MixInt:
+		sum := b.IAdd(elems[0], elems[1])
+		for _, e := range elems[2:] {
+			b.IAddTo(kasm.VR(sum), kasm.VR(sum), e)
+		}
+		return sum
+	default:
+		sum := b.FAdd(elems[0], elems[1])
+		for _, e := range elems[2:] {
+			b.FAddTo(kasm.VR(sum), kasm.VR(sum), e)
+		}
+		return sum
+	}
+}
+
+func mixVerifyF32(orig, got []float32, seed float32, threads int, res *sim.Result) error {
+	for th := 0; th < threads; th++ {
+		if !res.BlockRan(th / mixBlock) {
+			continue
+		}
+		base := th * mixGranularity
+		var want float32
+		for j := 0; j < mixGranularity; j++ {
+			v := orig[base+j]
+			want += v*v + seed
+		}
+		if g := got[base]; !almostEqual(float64(g), float64(want), 1e-5) {
+			return fmt.Errorf("thread %d: sum = %v, want %v", th, g, want)
+		}
+	}
+	return nil
+}
+
+func mixVerifyF64(orig, got []float64, seed float64, threads int, res *sim.Result) error {
+	for th := 0; th < threads; th++ {
+		if !res.BlockRan(th / mixBlock) {
+			continue
+		}
+		base := th * mixGranularity
+		var want float64
+		for j := 0; j < mixGranularity; j++ {
+			v := orig[base+j]
+			want += v*v + seed
+		}
+		if g := got[base]; !almostEqual(g, want, 1e-12) {
+			return fmt.Errorf("thread %d: sum = %v, want %v", th, g, want)
+		}
+	}
+	return nil
+}
+
+func mixVerifyI32(orig, got []int32, seed int32, threads int, res *sim.Result) error {
+	for th := 0; th < threads; th++ {
+		if !res.BlockRan(th / mixBlock) {
+			continue
+		}
+		base := th * mixGranularity
+		var want int32
+		for j := 0; j < mixGranularity; j++ {
+			v := orig[base+j]
+			want += v*v + seed
+		}
+		if g := got[base]; g != want {
+			return fmt.Errorf("thread %d: sum = %d, want %d", th, g, want)
+		}
+	}
+	return nil
+}
+
+func init() {
+	register("mixbench_sp_naive", func(scale int) (*Workload, error) { return Mixbench(MixSP, false, scale) })
+	register("mixbench_sp_vec4", func(scale int) (*Workload, error) { return Mixbench(MixSP, true, scale) })
+	register("mixbench_dp_naive", func(scale int) (*Workload, error) { return Mixbench(MixDP, false, scale) })
+	register("mixbench_dp_vec4", func(scale int) (*Workload, error) { return Mixbench(MixDP, true, scale) })
+	register("mixbench_int_naive", func(scale int) (*Workload, error) { return Mixbench(MixInt, false, scale) })
+	register("mixbench_int_vec4", func(scale int) (*Workload, error) { return Mixbench(MixInt, true, scale) })
+}

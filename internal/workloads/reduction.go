@@ -1,0 +1,148 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gpuscout/internal/codegen"
+	"gpuscout/internal/kasm"
+	"gpuscout/internal/sim"
+)
+
+// Reduction sums an array, in two styles around the §4.4 atomics advice:
+//
+//	atomic — every thread issues a global atomicAdd: the device-wide
+//	         serialization GPUscout's detector warns about
+//	shfl   — warp-level butterfly reduction with __shfl_xor_sync, then a
+//	         single global atomic per warp: 32x fewer atomics
+const (
+	redBlock  = 256
+	redBlocks = 640
+)
+
+var redAtomicSource = []string{
+	/* 1 */ `// sum reduction with per-thread global atomics`,
+	/* 2 */ `__global__ void reduce(const float* in, float* sum) {`,
+	/* 3 */ `  int gid = blockIdx.x * blockDim.x + threadIdx.x;`,
+	/* 4 */ `  atomicAdd(sum, in[gid]);`,
+	/* 5 */ `}`,
+}
+
+var redShflSource = []string{
+	/* 1 */ `// sum reduction: warp shuffle butterfly, one atomic per warp`,
+	/* 2 */ `__global__ void reduce_w(const float* in, float* sum) {`,
+	/* 3 */ `  int gid = blockIdx.x * blockDim.x + threadIdx.x;`,
+	/* 4 */ `  float v = in[gid];`,
+	/* 5 */ `  for (int m = 16; m > 0; m >>= 1)`,
+	/* 6 */ `    v += __shfl_xor_sync(0xffffffff, v, m);`,
+	/* 7 */ `  if ((threadIdx.x & 31) == 0) atomicAdd(sum, v);`,
+	/* 8 */ `}`,
+}
+
+// Reduction builds one variant. scale is unused (fixed size).
+func Reduction(shfl bool) (*Workload, error) {
+	name, file, source := "_Z6reducePKfPf", "reduce.cu", redAtomicSource
+	if shfl {
+		name, file, source = "_Z8reduce_wPKfPf", "reduce_w.cu", redShflSource
+	}
+	b := kasm.NewBuilder(name, "sm_70", file)
+	b.SetSource(source)
+	b.NumParams(2)
+
+	b.Line(3)
+	tid := b.TidX()
+	ctaid := b.CtaidX()
+	ntid := b.NTidX()
+	gid := b.IMad(kasm.VR(ctaid), kasm.VR(ntid), kasm.VR(tid))
+	in := b.ParamPtr(0)
+	sum := b.ParamPtr(1)
+	b.Line(4)
+	off := b.Shl(kasm.VR(gid), 2)
+	addr := b.IMadWide(kasm.VR(off), kasm.VImm(1), in)
+	v := b.Ldg(addr, 0, 4, false)
+
+	if !shfl {
+		b.RedAddF32(sum, 0, v)
+	} else {
+		b.Line(6)
+		// Butterfly: masks 16, 8, 4, 2, 1 (unrolled, like nvcc).
+		for m := int64(16); m > 0; m >>= 1 {
+			o := b.ShflBfly(kasm.VR(v), m)
+			b.FAddTo(kasm.VR(v), kasm.VR(v), kasm.VR(o))
+		}
+		b.Line(7)
+		lane := b.And(kasm.VR(tid), kasm.VImm(31))
+		p := b.ISetp("EQ", kasm.VR(lane), kasm.VImm(0))
+		b.WithPred(p, false, func() { b.RedAddF32(sum, 0, v) })
+		b.FreePred(p)
+	}
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	k, err := codegen.Compile(prog, codegen.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	threads := redBlock * redBlocks
+	variant := "atomic"
+	if shfl {
+		variant = "shfl"
+	}
+	w := &Workload{
+		Name:        "reduction_" + variant,
+		Description: fmt.Sprintf("array sum reduction, %s variant", variant),
+		Kernel:      k,
+		Prepare: func(dev *sim.Device) (*Run, error) {
+			inBuf, err := dev.Alloc(4 * threads)
+			if err != nil {
+				return nil, err
+			}
+			sumBuf, err := dev.Alloc(16)
+			if err != nil {
+				return nil, err
+			}
+			data := make([]float32, threads)
+			for i := range data {
+				data[i] = float32(i % 8) // small ints: fp addition is exact
+			}
+			if err := dev.WriteF32(inBuf, data); err != nil {
+				return nil, err
+			}
+			if err := dev.WriteF32(sumBuf, []float32{0}); err != nil {
+				return nil, err
+			}
+			spec := sim.LaunchSpec{
+				Kernel: k,
+				Grid:   sim.D1(redBlocks),
+				Block:  sim.D1(redBlock),
+				Params: []uint64{inBuf.Addr, sumBuf.Addr},
+			}
+			verify := func(dev *sim.Device, res *sim.Result) error {
+				got, err := dev.ReadF32(sumBuf, 1)
+				if err != nil {
+					return err
+				}
+				var want float32
+				for th := 0; th < threads; th++ {
+					if res.BlockRan(th / redBlock) {
+						want += data[th]
+					}
+				}
+				if got[0] != want {
+					return fmt.Errorf("sum = %v, want %v", got[0], want)
+				}
+				return nil
+			}
+			return &Run{Spec: spec, Verify: verify}, nil
+		},
+	}
+	return w, nil
+}
+
+func init() {
+	register("reduction_atomic", func(scale int) (*Workload, error) { return Reduction(false) })
+	register("reduction_shfl", func(scale int) (*Workload, error) { return Reduction(true) })
+}

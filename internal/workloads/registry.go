@@ -1,0 +1,111 @@
+// Package workloads provides the paper's case-study kernels (§5) —
+// Mixbench, the 2D Jacobi heat-transfer stencil, and SGEMM — in their
+// naive and optimized variants, plus auxiliary kernels exercising the
+// remaining detectors (register spilling for Fig. 2, atomics for §4.4).
+//
+// Each kernel is written against the kasm builder to mirror what nvcc
+// emits for the corresponding CUDA source (which is embedded, so reports
+// can quote source lines), then compiled by internal/codegen.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuscout/internal/sass"
+	"gpuscout/internal/sim"
+)
+
+// Run is a prepared launch: the spec to execute plus a correctness check
+// to run afterwards.
+type Run struct {
+	Spec sim.LaunchSpec
+	// Verify checks the device-side results. It receives the simulation
+	// result so it can skip blocks that were not simulated under SM
+	// sampling (see sim.Result.BlockRan).
+	Verify func(dev *sim.Device, res *sim.Result) error
+}
+
+// Workload is a compiled kernel together with its launch preparation.
+type Workload struct {
+	// Name identifies the workload variant, e.g. "sgemm_shared".
+	Name string
+	// Description is a one-line human summary.
+	Description string
+	// Kernel is the compiled SASS.
+	Kernel *sass.Kernel
+	// Prepare allocates and initializes device buffers and returns the
+	// launch.
+	Prepare func(dev *sim.Device) (*Run, error)
+}
+
+// Factory builds a workload at a given problem scale (the meaning of
+// "scale" is workload-specific; see each constructor).
+type Factory func(scale int) (*Workload, error)
+
+var factories = map[string]Factory{}
+
+func register(name string, f Factory) {
+	if _, dup := factories[name]; dup {
+		panic(fmt.Sprintf("workloads: duplicate %q", name))
+	}
+	factories[name] = f
+}
+
+// Names lists registered workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build constructs a registered workload at the given scale (0 selects
+// the workload's default scale).
+func Build(name string, scale int) (*Workload, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	return f(scale)
+}
+
+// Execute prepares and launches the workload on a fresh device, verifies
+// the result, and returns the simulation result.
+func Execute(w *Workload, dev *sim.Device, cfg sim.Config) (*sim.Result, error) {
+	run, err := w.Prepare(dev)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: prepare %s: %w", w.Name, err)
+	}
+	res, err := sim.Launch(dev, run.Spec, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: launch %s: %w", w.Name, err)
+	}
+	if run.Verify != nil {
+		if err := run.Verify(dev, res); err != nil {
+			return nil, fmt.Errorf("workloads: verify %s: %w", w.Name, err)
+		}
+	}
+	return res, nil
+}
+
+// almostEqual compares floats with a relative tolerance, for verifying
+// kernels whose operation order differs from the host reference.
+func almostEqual(a, b, relTol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if m < 0 {
+		m = -m
+	}
+	if bb := b; bb > m {
+		m = bb
+	} else if -bb > m {
+		m = -bb
+	}
+	return d <= relTol*m+1e-6
+}

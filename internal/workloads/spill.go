@@ -1,0 +1,163 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"gpuscout/internal/codegen"
+	"gpuscout/internal/kasm"
+	"gpuscout/internal/sim"
+)
+
+// SpillPressure is the Fig. 2 demonstration workload: a kernel whose
+// working set of live values exceeds the register budget (compiled with a
+// -maxrregcount analogue), so the register allocator spills to local
+// memory — producing the STL/LDL instructions, the extra L1/L2 traffic,
+// and the lg_throttle stalls that §4.2 detects.
+
+const (
+	spillValues = 24  // live float accumulators
+	spillBudget = 16  // register budget forcing spills
+	spillIters  = 32  // loop iterations touching every accumulator
+	spillBlock  = 128 // threads per block
+	spillBlocks = 160 // grid blocks (2 per SM)
+)
+
+var spillSource = []string{
+	/* 1 */ `// register-pressure demo: too many live accumulators`,
+	/* 2 */ `__global__ void pressure(const float* in, float* out, int iters) {`,
+	/* 3 */ `  int gid = blockIdx.x * blockDim.x + threadIdx.x;`,
+	/* 4 */ `  float acc[24];  // lives in registers ... until it does not`,
+	/* 5 */ `  for (int j = 0; j < 24; j++) acc[j] = in[gid*24 + j];`,
+	/* 6 */ `  for (int i = 0; i < iters; i++)`,
+	/* 7 */ `    for (int j = 0; j < 24; j++)`,
+	/* 8 */ `      acc[j] = acc[j] * acc[(j+1) % 24] + 0.1f;`,
+	/* 9 */ `  float s = 0; for (int j = 0; j < 24; j++) s += acc[j];`,
+	/* 10 */ `  out[gid] = s;`,
+	/* 11 */ `}`,
+}
+
+// SpillPressureWorkload builds the workload; scale is the iteration count
+// (<= 0 selects 32).
+func SpillPressureWorkload(scale int) (*Workload, error) {
+	iters := scale
+	if iters <= 0 {
+		iters = spillIters
+	}
+	b := kasm.NewBuilder("_Z8pressurePKfPfi", "sm_70", "pressure.cu")
+	b.SetSource(spillSource)
+	b.NumParams(3)
+
+	b.Line(3)
+	tid := b.TidX()
+	ctaid := b.CtaidX()
+	ntid := b.NTidX()
+	gid := b.IMad(kasm.VR(ctaid), kasm.VR(ntid), kasm.VR(tid))
+	in := b.ParamPtr(0)
+	out := b.ParamPtr(1)
+
+	b.Line(5)
+	off := b.IMul(kasm.VR(gid), kasm.VImm(spillValues*4))
+	base := b.IMadWide(kasm.VR(off), kasm.VImm(1), in)
+	accs := make([]kasm.VReg, spillValues)
+	for j := 0; j < spillValues; j++ {
+		accs[j] = b.Ldg(base, int64(4*j), 4, false)
+	}
+
+	b.Line(6)
+	i := b.MovImm(0)
+	half := b.MovImmF32(0.1)
+	b.LabelName("iters")
+	b.Line(8)
+	for j := 0; j < spillValues; j++ {
+		b.FFmaTo(kasm.VR(accs[j]), kasm.VR(accs[j]), kasm.VR(accs[(j+1)%spillValues]), kasm.VR(half))
+	}
+	b.Line(6)
+	b.IAddTo(kasm.VR(i), kasm.VR(i), kasm.VImm(1))
+	p := b.ISetp("LT", kasm.VR(i), kasm.VImm(int64(iters)))
+	b.BraIf(p, false, "iters")
+	b.FreePred(p)
+
+	b.Line(9)
+	sum := b.FAdd(kasm.VR(accs[0]), kasm.VR(accs[1]))
+	for j := 2; j < spillValues; j++ {
+		b.FAddTo(kasm.VR(sum), kasm.VR(sum), kasm.VR(accs[j]))
+	}
+	b.Line(10)
+	oOff := b.Shl(kasm.VR(gid), 2)
+	oAddr := b.IMadWide(kasm.VR(oOff), kasm.VImm(1), out)
+	b.Stg(oAddr, 0, sum, 4)
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	k, err := codegen.Compile(prog, codegen.Options{MaxRegs: spillBudget})
+	if err != nil {
+		return nil, err
+	}
+
+	threads := spillBlock * spillBlocks
+	w := &Workload{
+		Name:        "spill_pressure",
+		Description: fmt.Sprintf("register-pressure kernel compiled with maxrregcount=%d (forces spills)", spillBudget),
+		Kernel:      k,
+		Prepare: func(dev *sim.Device) (*Run, error) {
+			inBuf, err := dev.Alloc(4 * threads * spillValues)
+			if err != nil {
+				return nil, err
+			}
+			outBuf, err := dev.Alloc(4 * threads)
+			if err != nil {
+				return nil, err
+			}
+			data := make([]float32, threads*spillValues)
+			for idx := range data {
+				data[idx] = 0.1 + float32(idx%5)*0.08
+			}
+			if err := dev.WriteF32(inBuf, data); err != nil {
+				return nil, err
+			}
+			spec := sim.LaunchSpec{
+				Kernel: k,
+				Grid:   sim.D1(spillBlocks),
+				Block:  sim.D1(spillBlock),
+				Params: []uint64{inBuf.Addr, outBuf.Addr, uint64(uint32(iters))},
+			}
+			verify := func(dev *sim.Device, res *sim.Result) error {
+				got, err := dev.ReadF32(outBuf, threads)
+				if err != nil {
+					return err
+				}
+				for th := 0; th < threads; th++ {
+					if !res.BlockRan(th / spillBlock) {
+						continue
+					}
+					acc := make([]float32, spillValues)
+					copy(acc, data[th*spillValues:(th+1)*spillValues])
+					for it := 0; it < iters; it++ {
+						for j := 0; j < spillValues; j++ {
+							acc[j] = acc[j]*acc[(j+1)%spillValues] + 0.1
+						}
+					}
+					var want float32
+					for j := 0; j < spillValues; j++ {
+						want += acc[j]
+					}
+					if g := got[th]; !almostEqual(float64(g), float64(want), 1e-4) &&
+						!(math.IsInf(float64(want), 0) && math.IsInf(float64(g), 0)) {
+						return fmt.Errorf("thread %d: %v, want %v", th, g, want)
+					}
+				}
+				return nil
+			}
+			return &Run{Spec: spec, Verify: verify}, nil
+		},
+	}
+	return w, nil
+}
+
+func init() {
+	register("spill_pressure", SpillPressureWorkload)
+}

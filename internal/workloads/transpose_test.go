@@ -1,0 +1,62 @@
+package workloads
+
+import (
+	"testing"
+
+	"gpuscout/internal/sim"
+)
+
+func TestTransposeCorrect(t *testing.T) {
+	for _, name := range []string{"transpose_naive", "transpose_shared", "transpose_padded"} {
+		t.Run(name, func(t *testing.T) {
+			_, res := runWorkload(t, name, 128, sim.Config{SampleSMs: 2})
+			if res.Cycles <= 0 {
+				t.Error("no cycles")
+			}
+		})
+	}
+}
+
+func TestTransposeBankConflictRatio(t *testing.T) {
+	// §4.3: the bank-conflict ratio is transactions/accesses. The
+	// unpadded column read must show a full 32-way conflict; padding the
+	// tile to 33 floats per row makes it conflict-free.
+	_, rs := runWorkload(t, "transpose_shared", 128, sim.Config{SampleSMs: 1})
+	ratio := func(r *sim.Result) float64 {
+		if r.Counters.SharedLdInsts == 0 {
+			return 0
+		}
+		return float64(r.Counters.SharedLdTrans) / float64(r.Counters.SharedLdInsts)
+	}
+	if got := ratio(rs); got < 31.5 || got > 32.5 {
+		t.Errorf("unpadded tile bank-conflict ratio = %.2f, want 32-way", got)
+	}
+	_, rp := runWorkload(t, "transpose_padded", 128, sim.Config{SampleSMs: 1})
+	if got := ratio(rp); got != 1 {
+		t.Errorf("padded tile bank-conflict ratio = %.2f, want 1.0", got)
+	}
+	// And it matters: the padded variant is faster.
+	if rp.Cycles >= rs.Cycles {
+		t.Errorf("padding did not help: %.0f vs %.0f cycles", rp.Cycles, rs.Cycles)
+	}
+	t.Logf("cycles: shared %.0f, padded %.0f (%.2fx); ratios %.1f vs %.1f",
+		rs.Cycles, rp.Cycles, rs.Cycles/rp.Cycles, ratio(rs), ratio(rp))
+	// The conflicts surface as MIO pressure (short_scoreboard/mio).
+	mio := rs.StallShare(sim.StallShortScoreboard) + rs.StallShare(sim.StallMIOThrottle)
+	mioP := rp.StallShare(sim.StallShortScoreboard) + rp.StallShare(sim.StallMIOThrottle)
+	if mio <= mioP {
+		t.Errorf("conflicted variant shows no extra MIO pressure: %.3f vs %.3f", mio, mioP)
+	}
+}
+
+func TestTransposeSharedBeatsNaive(t *testing.T) {
+	// At 1024x1024 each SM holds enough blocks to saturate the LSU, where
+	// the naive variant's 32-sector uncoalesced stores dominate.
+	_, rn := runWorkload(t, "transpose_naive", 1024, sim.Config{SampleSMs: 1})
+	_, rp := runWorkload(t, "transpose_padded", 1024, sim.Config{SampleSMs: 1})
+	speedup := rn.Cycles / rp.Cycles
+	t.Logf("padded-tile transpose speedup over naive: %.2fx", speedup)
+	if speedup < 1.4 {
+		t.Errorf("tiled transpose not faster than naive: %.2fx", speedup)
+	}
+}
