@@ -1,0 +1,26 @@
+# Developer entry points. `make check` is the full gate (build + vet +
+# race-enabled tests) referenced from README.md.
+
+GO ?= go
+
+.PHONY: check build vet test race serve
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The simulator-heavy packages are slow under the race detector on
+# small machines; raise the per-package timeout well past the default.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+# Run the analysis service locally.
+serve:
+	$(GO) run ./cmd/gpuscoutd -addr :8090

@@ -1,0 +1,84 @@
+// Command gpuscoutd is the long-lived GPUscout analysis service: the
+// one-shot CLI's pipeline behind an HTTP API with a bounded job queue,
+// a worker pool, a content-addressed report cache, and Prometheus-format
+// metrics. Stdlib only.
+//
+//	gpuscoutd -addr :8090 -workers 4 -queue 64 -cache 256
+//
+//	curl -s localhost:8090/v1/workloads
+//	curl -s -X POST localhost:8090/v1/analyze -d '{"workload":"sgemm_naive","scale":128}'
+//	curl -s -X POST 'localhost:8090/v1/analyze?async=1' -d '{"workload":"jacobi_naive"}'
+//	curl -s localhost:8090/v1/jobs/j00000002
+//	curl -s localhost:8090/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpuscout"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8090", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent analysis workers (0 = #CPUs, capped at 8)")
+		queue    = flag.Int("queue", 64, "bounded job-queue depth (full queue => 429)")
+		cache    = flag.Int("cache", 256, "report-cache capacity in entries (negative disables)")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "default per-job timeout")
+		maxBody  = flag.Int64("max-upload", 8<<20, "max request body bytes (SASS/cubin uploads)")
+		retained = flag.Int("retained-jobs", 1024, "finished jobs kept for GET /v1/jobs/{id}")
+	)
+	flag.Parse()
+
+	svc, err := gpuscout.NewService(gpuscout.ServiceConfig{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		DefaultTimeout:  *timeout,
+		MaxUploadBytes:  *maxBody,
+		MaxJobsRetained: *retained,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpuscoutd:", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: stop accepting connections, then cancel every
+	// queued/running job and drain the worker pool.
+	idle := make(chan struct{})
+	go func() {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		<-sigc
+		log.Print("gpuscoutd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("gpuscoutd: shutdown: %v", err)
+		}
+		svc.Close()
+		close(idle)
+	}()
+
+	log.Printf("gpuscoutd: listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "gpuscoutd:", err)
+		os.Exit(1)
+	}
+	<-idle
+}

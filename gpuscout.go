@@ -24,6 +24,7 @@
 package gpuscout
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -33,6 +34,7 @@ import (
 	"gpuscout/internal/kasm"
 	"gpuscout/internal/sass"
 	"gpuscout/internal/scout"
+	"gpuscout/internal/service"
 	"gpuscout/internal/sim"
 	"gpuscout/internal/workloads"
 )
@@ -147,6 +149,12 @@ func Launch(dev *Device, spec LaunchSpec, cfg SimConfig) (*SimResult, error) {
 	return sim.Launch(dev, spec, cfg)
 }
 
+// LaunchContext is Launch with cancellation: the simulation polls ctx and
+// aborts promptly when it is cancelled or times out.
+func LaunchContext(ctx context.Context, dev *Device, spec LaunchSpec, cfg SimConfig) (*SimResult, error) {
+	return sim.LaunchContext(ctx, dev, spec, cfg)
+}
+
 // --- GPUscout analysis ---
 
 // Options configure an analysis run (DryRun, sampling period, detectors).
@@ -161,10 +169,20 @@ type Finding = scout.Finding
 // RunFunc launches the analyzed kernel once for the dynamic pillars.
 type RunFunc = scout.RunFunc
 
+// RunContextFunc is RunFunc with cancellation; forward ctx into
+// LaunchContext so aborting the analysis interrupts the launch.
+type RunContextFunc = scout.RunContextFunc
+
 // Analyze performs the full GPUscout workflow on a kernel: static SASS
 // analysis, warp-stall sampling, metric collection, and evaluation.
 func Analyze(arch Arch, k *Kernel, run RunFunc, opts Options) (*Report, error) {
 	return scout.Analyze(arch, k, run, opts)
+}
+
+// AnalyzeContext is Analyze with cancellation: ctx is checked between the
+// pillars and handed to run, so cancelling it interrupts the workflow.
+func AnalyzeContext(ctx context.Context, arch Arch, k *Kernel, run RunContextFunc, opts Options) (*Report, error) {
+	return scout.AnalyzeContext(ctx, arch, k, run, opts)
 }
 
 // DryRun performs only the static SASS analysis (no GPU involvement) —
@@ -221,13 +239,39 @@ func RunWorkload(w *Workload, arch Arch, cfg SimConfig) (*SimResult, error) {
 // AnalyzeWorkload is the one-call path: build the named workload and run
 // the full GPUscout pipeline on it.
 func AnalyzeWorkload(name string, scale int, arch Arch, opts Options) (*Report, error) {
+	return AnalyzeWorkloadContext(context.Background(), name, scale, arch, opts)
+}
+
+// --- The gpuscoutd analysis service ---
+
+// Service is the long-lived analysis service behind cmd/gpuscoutd: a
+// bounded job queue and worker pool, a content-addressed report cache,
+// and a Prometheus-format /metrics endpoint, all fronting the Analyze
+// pipeline. Serve its Handler() with net/http.
+type Service = service.Service
+
+// ServiceConfig tunes the service (workers, queue depth, cache size,
+// per-job timeout, upload cap); the zero value selects defaults.
+type ServiceConfig = service.Config
+
+// AnalyzeServiceRequest is the POST /v1/analyze body: exactly one of a
+// built-in workload name, SASS text, or cubin bytes.
+type AnalyzeServiceRequest = service.AnalyzeRequest
+
+// NewService builds the analysis service and starts its worker pool;
+// call Close to drain it.
+func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// AnalyzeWorkloadContext is AnalyzeWorkload with cancellation, the path
+// the gpuscoutd daemon uses for per-job timeouts.
+func AnalyzeWorkloadContext(ctx context.Context, name string, scale int, arch Arch, opts Options) (*Report, error) {
 	w, err := workloads.Build(name, scale)
 	if err != nil {
 		return nil, err
 	}
-	run := func(cfg sim.Config) (*sim.Result, error) {
+	run := func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
 		dev := sim.NewDevice(arch)
-		return workloads.Execute(w, dev, cfg)
+		return workloads.ExecuteContext(ctx, w, dev, cfg)
 	}
-	return scout.Analyze(arch, w.Kernel, run, opts)
+	return scout.AnalyzeContext(ctx, arch, w.Kernel, run, opts)
 }

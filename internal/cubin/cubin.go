@@ -97,15 +97,38 @@ func Encode(b *Binary) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decode deserializes a Binary and validates every kernel.
+// Sanity bounds for decoding untrusted input (cubins arrive over HTTP in
+// gpuscoutd): reject headers whose claimed sizes are impossible for the
+// bytes actually present, before allocating anything proportional to the
+// claim.
+const (
+	// maxRegsPlausible bounds a kernel's register count (the hardware
+	// register file has 255 addressable registers).
+	maxRegsPlausible = 256
+	// maxResourceBytes bounds shared/local/const sizes (far above any
+	// real per-kernel resource, far below an allocation attack).
+	maxResourceBytes = 16 << 20
+	// minKernelBytes is the smallest possible serialized kernel: seven
+	// u32 length/size fields, all strings empty.
+	minKernelBytes = 7 * 4
+)
+
+// Decode deserializes a Binary and validates every kernel. It is safe on
+// arbitrary untrusted input: malformed, truncated, or adversarial bytes
+// produce a descriptive error (wrapping io.ErrUnexpectedEOF where the
+// input ends early) — never a panic and never an allocation proportional
+// to a claimed-but-absent size.
 func Decode(data []byte) (*Binary, error) {
 	r := &reader{data: data}
 	var magic [4]byte
 	r.bytes(magic[:])
+	if r.err != nil {
+		return nil, fmt.Errorf("cubin: missing magic: %w", r.err)
+	}
 	if magic != Magic {
 		return nil, fmt.Errorf("cubin: bad magic %q", magic[:])
 	}
-	if v := r.u32(); v != Version {
+	if v := r.u32(); r.err == nil && v != Version {
 		return nil, fmt.Errorf("cubin: unsupported version %d (want %d)", v, Version)
 	}
 	b := &Binary{Arch: r.str()}
@@ -113,8 +136,8 @@ func Decode(data []byte) (*Binary, error) {
 	if r.err != nil {
 		return nil, fmt.Errorf("cubin: truncated header: %w", r.err)
 	}
-	if n > 1<<16 {
-		return nil, fmt.Errorf("cubin: implausible kernel count %d", n)
+	if n > 1<<16 || n > r.remaining()/minKernelBytes {
+		return nil, fmt.Errorf("cubin: implausible kernel count %d (%d bytes remain)", n, r.remaining())
 	}
 	for i := 0; i < n; i++ {
 		name := r.str()
@@ -127,8 +150,19 @@ func Decode(data []byte) (*Binary, error) {
 		if r.err != nil {
 			return nil, fmt.Errorf("cubin: truncated kernel %d: %w", i, r.err)
 		}
-		if nsrc > 1<<20 {
-			return nil, fmt.Errorf("cubin: implausible source line count %d", nsrc)
+		if regs < 0 || regs > maxRegsPlausible {
+			return nil, fmt.Errorf("cubin: kernel %q claims implausible register count %d", name, regs)
+		}
+		if shared < 0 || shared > maxResourceBytes ||
+			local < 0 || local > maxResourceBytes ||
+			cbytes < 0 || cbytes > maxResourceBytes {
+			return nil, fmt.Errorf("cubin: kernel %q claims implausible resource sizes (shared=%d local=%d const=%d)",
+				name, shared, local, cbytes)
+		}
+		// Each source line costs at least its 4-byte length prefix.
+		if nsrc > r.remaining()/4 {
+			return nil, fmt.Errorf("cubin: kernel %q claims %d source lines but only %d bytes remain",
+				name, nsrc, r.remaining())
 		}
 		src := make([]string, 0, nsrc)
 		for j := 0; j < nsrc; j++ {
@@ -174,12 +208,16 @@ type reader struct {
 	err  error
 }
 
+// remaining is how many undecoded bytes are left.
+func (r *reader) remaining() int { return len(r.data) - r.off }
+
 func (r *reader) bytes(dst []byte) {
 	if r.err != nil {
 		return
 	}
 	if r.off+len(dst) > len(r.data) {
-		r.err = io.ErrUnexpectedEOF
+		r.err = fmt.Errorf("need %d bytes at offset %d, have %d: %w",
+			len(dst), r.off, r.remaining(), io.ErrUnexpectedEOF)
 		return
 	}
 	copy(dst, r.data[r.off:])
@@ -200,8 +238,9 @@ func (r *reader) str() string {
 	if r.err != nil {
 		return ""
 	}
-	if r.off+n > len(r.data) {
-		r.err = io.ErrUnexpectedEOF
+	if n < 0 || r.off+n > len(r.data) {
+		r.err = fmt.Errorf("string of %d bytes at offset %d exceeds %d remaining: %w",
+			n, r.off, r.remaining(), io.ErrUnexpectedEOF)
 		return ""
 	}
 	s := string(r.data[r.off : r.off+n])

@@ -1,6 +1,7 @@
 package cubin
 
 import (
+	"encoding/binary"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -134,6 +135,98 @@ func TestDecodeCorrupt(t *testing.T) {
 			}
 		}
 	})
+}
+
+// craft builds a malformed cubin byte stream field by field.
+type craft struct{ b []byte }
+
+func (c *craft) u32(v uint32) *craft {
+	var x [4]byte
+	binary.LittleEndian.PutUint32(x[:], v)
+	c.b = append(c.b, x[:]...)
+	return c
+}
+
+func (c *craft) str(s string) *craft {
+	c.u32(uint32(len(s)))
+	c.b = append(c.b, s...)
+	return c
+}
+
+func (c *craft) raw(p ...byte) *craft { c.b = append(c.b, p...); return c }
+
+func header() *craft {
+	c := &craft{}
+	return c.raw(Magic[:]...).u32(Version).str("sm_70")
+}
+
+// TestDecodeMalformed exercises every error path against hand-crafted
+// adversarial inputs: each must fail with a descriptive error, never
+// panic, and never allocate proportionally to a claimed-but-absent size
+// (cubins reach Decode over HTTP from untrusted clients via gpuscoutd).
+func TestDecodeMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		data    []byte
+		wantErr string // substring of the expected error
+	}{
+		{"empty", nil, "magic"},
+		{"short magic", []byte("CU"), "magic"},
+		{"wrong magic", (&craft{}).raw('E', 'L', 'F', 0).b, "bad magic"},
+		{"truncated after magic", (&craft{}).raw(Magic[:]...).b, "truncated"},
+		{"future version", (&craft{}).raw(Magic[:]...).u32(Version + 7).b, "unsupported version"},
+		{"arch string runs past end",
+			(&craft{}).raw(Magic[:]...).u32(Version).u32(1 << 30).b, "exceeds"},
+		{"huge kernel count",
+			header().u32(0xffffffff).b, "implausible kernel count"},
+		{"kernel count beyond payload",
+			header().u32(100).str("k").b, "implausible kernel count"},
+		{"truncated mid-kernel",
+			header().u32(1).str("_Zkernel_with_a_long_name").u32(8).u32(0).b, "truncated kernel"},
+		{"implausible registers",
+			header().u32(1).str("_Zk").u32(100000).u32(0).u32(0).u32(0).str("f.cu").u32(0).str("x").b,
+			"implausible register count"},
+		{"implausible shared size",
+			header().u32(1).str("_Zk").u32(8).u32(1 << 30).u32(0).u32(0).str("f.cu").u32(0).str("x").b,
+			"implausible resource sizes"},
+		{"source lines beyond payload",
+			header().u32(1).str("_Zk").u32(8).u32(0).u32(0).u32(0).str("f.cu").u32(1 << 19).b,
+			"source lines"},
+		{"SASS section not parseable",
+			header().u32(1).str("_Zk").u32(8).u32(0).u32(0).u32(0).str("f.cu").u32(0).str("not sass").b,
+			"SASS section"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bin, err := Decode(tc.data)
+			if err == nil {
+				t.Fatalf("Decode accepted malformed input: %+v", bin)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestDecodeHeaderSASSMismatch: the header's resource fields are
+// authoritative over the SASS text, so a crafted stream whose SASS
+// parses fine but contradicts its own header (writes R4 while the header
+// claims 2 registers) must be rejected by post-decode validation.
+func TestDecodeHeaderSASSMismatch(t *testing.T) {
+	k := tinyKernel("_Z4tinyPf")
+	k.Insts[0].Dst = []sass.Operand{sass.R(4)}
+	k.Insts[1].Src = []sass.Operand{sass.R(4)}
+	text := sass.Print(k)
+
+	data := header().u32(1).
+		str(k.Name).u32(2 /* fewer than R4 needs */).u32(0).u32(0).u32(0x170).
+		str("tiny.cu").u32(0).str(text).b
+	if _, err := Decode(data); err == nil {
+		t.Fatal("Decode accepted kernel contradicting its header")
+	} else if !strings.Contains(err.Error(), "invalid") {
+		t.Errorf("error %q does not mention validation", err)
+	}
 }
 
 func TestQuickDecodeGarbage(t *testing.T) {

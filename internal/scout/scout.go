@@ -1,6 +1,7 @@
 package scout
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -45,10 +46,33 @@ type Options struct {
 // needs it.
 type RunFunc func(cfg sim.Config) (*sim.Result, error)
 
+// RunContextFunc is RunFunc with cancellation: implementations should
+// forward ctx into sim.LaunchContext so that aborting the analysis
+// actually interrupts the simulated launch.
+type RunContextFunc func(ctx context.Context, cfg sim.Config) (*sim.Result, error)
+
 // Analyze performs the full GPUscout workflow (§3.1) on one kernel:
 // static code instrumentation, dynamic data collection (PC sampling and
 // ncu metrics, unless DryRun), and data evaluation.
 func Analyze(arch gpu.Arch, k *sass.Kernel, run RunFunc, opts Options) (*Report, error) {
+	var rc RunContextFunc
+	if run != nil {
+		rc = func(_ context.Context, cfg sim.Config) (*sim.Result, error) { return run(cfg) }
+	}
+	return AnalyzeContext(context.Background(), arch, k, rc, opts)
+}
+
+// AnalyzeContext is Analyze with cancellation: it checks ctx between the
+// three pillars and hands it to run, so a cancelled or timed-out context
+// interrupts the workflow (including a long simulated launch, when run
+// forwards ctx to sim.LaunchContext) instead of abandoning it.
+func AnalyzeContext(ctx context.Context, arch gpu.Arch, k *sass.Kernel, run RunContextFunc, opts Options) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("scout: %w", err)
+	}
 	analyses := opts.Analyses
 	if analyses == nil {
 		analyses = AllAnalyses()
@@ -81,9 +105,12 @@ func Analyze(arch gpu.Arch, k *sass.Kernel, run RunFunc, opts Options) (*Report,
 	}
 
 	// --- Pillar 2: warp-stall sampling (CUPTI). ---
-	res, err := run(opts.Sim)
+	res, err := run(ctx, opts.Sim)
 	if err != nil {
 		return nil, fmt.Errorf("scout: sampled run: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("scout: %w", err)
 	}
 	samples, err := cupti.Collect(k, res, cupti.Config{PeriodCycles: opts.SamplingPeriod})
 	if err != nil {

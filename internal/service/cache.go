@@ -1,0 +1,96 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+
+	"gpuscout/internal/scout"
+)
+
+// reportCache is a thread-safe LRU of marshaled report JSON, keyed by
+// CacheKey. Entries are immutable byte slices, so a cached report can be
+// handed to concurrent readers without copying.
+type reportCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+func newReportCache(capacity int) *reportCache {
+	return &reportCache{cap: capacity, ll: list.New(), m: map[string]*list.Element{}}
+}
+
+// get returns the cached report for key, refreshing its recency.
+func (c *reportCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// put stores data under key, evicting the least recently used entry when
+// over capacity. A zero or negative capacity disables the cache.
+func (c *reportCache) put(key string, data []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).data = data
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// size returns the number of cached reports.
+func (c *reportCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheKey is the content address of one analysis: the SHA-256 of the
+// kernel's canonical SASS text, the target architecture tag, the launch
+// fingerprint, and the analysis options that change the report.
+//
+// The launch fingerprint exists because the same kernel SASS produces
+// different reports at different problem scales once the simulator runs:
+// a workload's grid dimensions and memory traffic depend on the scale,
+// which never appears in the machine code. Static (dry-run) analyses use
+// the fixed fingerprint "static" — there the report depends only on the
+// kernel — so identical kernels share one entry regardless of whether
+// they arrived as a workload name, SASS text, or a cubin.
+func CacheKey(canonicalSASS, archTag, launch string, opts scout.Options) string {
+	h := sha256.New()
+	io.WriteString(h, "gpuscoutd-report-v1\x00")
+	io.WriteString(h, archTag)
+	h.Write([]byte{0})
+	io.WriteString(h, launch)
+	h.Write([]byte{0})
+	fmt.Fprintf(h, "dryrun=%t period=%g samplesms=%d maxcycles=%g",
+		opts.DryRun, opts.SamplingPeriod, opts.Sim.SampleSMs, opts.Sim.MaxCycles)
+	h.Write([]byte{0})
+	io.WriteString(h, canonicalSASS)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,192 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gpuscout/internal/scout"
+	"gpuscout/internal/sim"
+)
+
+func TestReportCacheLRU(t *testing.T) {
+	c := newReportCache(2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	// a was just refreshed, so inserting c evicts b.
+	c.put("c", []byte("C"))
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a evicted despite being most recently used")
+	}
+	if c.size() != 2 {
+		t.Errorf("size = %d, want 2", c.size())
+	}
+	// Overwriting an existing key must not grow the cache.
+	c.put("a", []byte("A2"))
+	if data, _ := c.get("a"); string(data) != "A2" {
+		t.Errorf("a = %q after overwrite", data)
+	}
+	if c.size() != 2 {
+		t.Errorf("size = %d after overwrite, want 2", c.size())
+	}
+}
+
+func TestReportCacheDisabled(t *testing.T) {
+	c := newReportCache(-1)
+	c.put("a", []byte("A"))
+	if _, ok := c.get("a"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	base := CacheKey("SASS", "sm_70", "static", scout.Options{})
+	if CacheKey("SASS", "sm_70", "static", scout.Options{}) != base {
+		t.Error("cache key not deterministic")
+	}
+	variants := []string{
+		CacheKey("SASS2", "sm_70", "static", scout.Options{}),
+		CacheKey("SASS", "sm_60", "static", scout.Options{}),
+		CacheKey("SASS", "sm_70", "workload=sgemm_naive scale=256", scout.Options{}),
+		CacheKey("SASS", "sm_70", "workload=sgemm_naive scale=320", scout.Options{}),
+		CacheKey("SASS", "sm_70", "static", scout.Options{DryRun: true}),
+		CacheKey("SASS", "sm_70", "static", scout.Options{SamplingPeriod: 512}),
+		CacheKey("SASS", "sm_70", "static", scout.Options{Sim: sim.Config{SampleSMs: 2}}),
+	}
+	seen := map[string]bool{base: true}
+	for i, v := range variants {
+		if seen[v] {
+			t.Errorf("variant %d collides with another key", i)
+		}
+		seen[v] = true
+	}
+	if len(base) != 64 {
+		t.Errorf("key %q is not a SHA-256 hex digest", base)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "Ops.", Label{"kind", "x"})
+	c.Add(3)
+	g := r.NewGauge("test_depth", "Depth.")
+	g.Set(2.5)
+	g.Add(-0.5)
+	r.NewGaugeFunc("test_fn", "Fn.", func() float64 { return 7 })
+	h := r.NewHistogram("test_seconds", "Latency.", []float64{0.1, 1}, Label{"stage", "build"})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_ops_total Ops.",
+		"# TYPE test_ops_total counter",
+		`test_ops_total{kind="x"} 3`,
+		"# TYPE test_depth gauge",
+		"test_depth 2",
+		"test_fn 7",
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{stage="build",le="0.1"} 1`,
+		`test_seconds_bucket{stage="build",le="1"} 2`,
+		`test_seconds_bucket{stage="build",le="+Inf"} 3`,
+		`test_seconds_sum{stage="build"} 5.55`,
+		`test_seconds_count{stage="build"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsLabelEscaping(t *testing.T) {
+	got := labelString([]Label{{"a", `x"y\z` + "\n"}})
+	want := `{a="x\"y\\z\n"}`
+	if got != want {
+		t.Errorf("labelString = %s, want %s", got, want)
+	}
+}
+
+func TestPoolBackpressureAndShutdown(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan string, 8)
+	p := newPool(1, 1, func(j *Job) {
+		started <- j.ID
+		<-block
+		j.finish(StateDone, nil, "", false)
+	})
+
+	j := func(id string) *Job { return newJob(id, AnalyzeRequest{}, context.Background(), func() {}) }
+	if err := p.trySubmit(j("a")); err != nil {
+		t.Fatalf("submit a: %v", err)
+	}
+	<-started // a occupies the worker
+	if err := p.trySubmit(j("b")); err != nil {
+		t.Fatalf("submit b: %v", err)
+	}
+	if err := p.trySubmit(j("c")); err != ErrQueueFull {
+		t.Fatalf("submit c: err = %v, want ErrQueueFull", err)
+	}
+	if d := p.depth(); d != 1 {
+		t.Errorf("depth = %d, want 1", d)
+	}
+
+	close(block)
+	p.shutdown()
+	if err := p.trySubmit(j("d")); err != ErrClosed {
+		t.Errorf("submit after shutdown: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	// Many concurrent identical dry-run submissions: all succeed or shed
+	// cleanly, and cache + counters stay consistent under -race.
+	svc, err := New(Config{Workers: 4, QueueDepth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	const n = 16
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			j, err := svc.Submit(AnalyzeRequest{Workload: "transpose_naive", DryRun: true})
+			if err != nil {
+				errs <- fmt.Errorf("submit: %w", err)
+				return
+			}
+			<-j.Done()
+			if st := j.Snapshot(); st.State != StateDone {
+				errs <- fmt.Errorf("job %s: %s (%s)", j.ID, st.State, st.Error)
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+	hits := svc.cacheHits.Value()
+	misses := svc.cacheMisses.Value()
+	if hits+misses != n {
+		t.Errorf("hits(%d)+misses(%d) != %d", hits, misses, n)
+	}
+	if misses < 1 {
+		t.Error("expected at least one cache miss")
+	}
+	if svc.cache.size() != 1 {
+		t.Errorf("cache size = %d, want 1 (content-addressed)", svc.cache.size())
+	}
+}

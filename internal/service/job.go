@@ -1,0 +1,227 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued State = "queued"
+	// StateRunning: a worker is executing the analysis.
+	StateRunning State = "running"
+	// StateDone: finished successfully; the report is available.
+	StateDone State = "done"
+	// StateFailed: the analysis returned an error.
+	StateFailed State = "failed"
+	// StateCancelled: cancelled by the client (DELETE or disconnect).
+	StateCancelled State = "cancelled"
+	// StateTimeout: the per-job deadline expired mid-analysis.
+	StateTimeout State = "timeout"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCancelled, StateTimeout:
+		return true
+	}
+	return false
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze. Exactly one kernel
+// source must be set: Workload (a built-in case-study kernel, run through
+// the full three-pillar pipeline), SASS (nvdisasm-style text), or Cubin
+// (raw container bytes, base64-encoded in JSON). Uploaded SASS and cubins
+// carry no launch harness, so they are analyzed statically (dry run).
+type AnalyzeRequest struct {
+	// Workload names a built-in workload (see GET /v1/workloads).
+	Workload string `json:"workload,omitempty"`
+	// Scale is the workload problem scale (0 = the workload's default).
+	Scale int `json:"scale,omitempty"`
+	// SASS is nvdisasm-style SASS text to analyze statically.
+	SASS string `json:"sass,omitempty"`
+	// Cubin is a cubin container (base64 in JSON) to analyze statically.
+	Cubin []byte `json:"cubin,omitempty"`
+	// Kernel selects a kernel within the cubin (default: first).
+	Kernel string `json:"kernel,omitempty"`
+	// Arch is the target architecture ("sm_70"/"V100", "sm_60", "sm_80");
+	// default sm_70.
+	Arch string `json:"arch,omitempty"`
+	// DryRun restricts a workload analysis to the static pillar.
+	DryRun bool `json:"dry_run,omitempty"`
+	// SamplingPeriod overrides the CUPTI sampling period in cycles.
+	SamplingPeriod float64 `json:"sampling_period,omitempty"`
+	// SampleSMs caps how many SMs the simulator models (0 = default).
+	SampleSMs int `json:"sample_sms,omitempty"`
+	// TimeoutMS bounds this job's execution (0 = the server default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// validate checks the request shape without building anything.
+func (r *AnalyzeRequest) validate() error {
+	sources := 0
+	if r.Workload != "" {
+		sources++
+	}
+	if r.SASS != "" {
+		sources++
+	}
+	if len(r.Cubin) > 0 {
+		sources++
+	}
+	if sources != 1 {
+		return fmt.Errorf("exactly one of workload, sass, cubin must be set (got %d)", sources)
+	}
+	if r.Kernel != "" && len(r.Cubin) == 0 {
+		return fmt.Errorf("kernel selects a kernel within a cubin; no cubin given")
+	}
+	if r.Scale < 0 {
+		return fmt.Errorf("scale must be >= 0")
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms must be >= 0")
+	}
+	return nil
+}
+
+// Job is one queued or executed analysis.
+type Job struct {
+	// ID is the job's handle, e.g. "j00000007".
+	ID string
+
+	req    AnalyzeRequest
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	state     State
+	report    []byte // marshaled report JSON, set on StateDone
+	errMsg    string
+	cacheHit  bool
+	userAbort bool // Cancel() was called (vs deadline expiry)
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+func newJob(id string, req AnalyzeRequest, ctx context.Context, cancel context.CancelFunc) *Job {
+	return &Job{
+		ID:      id,
+		req:     req,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   StateQueued,
+		created: time.Now(),
+	}
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel aborts the job. Safe to call in any state, any number of times;
+// a finished job is unaffected.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.userAbort = true
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+func (j *Job) markRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state State, report []byte, errMsg string, cacheHit bool) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.report = report
+	j.errMsg = errMsg
+	j.cacheHit = cacheHit
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.cancel() // release the timeout timer
+	close(j.done)
+}
+
+// interrupted maps the job context's termination cause to a terminal
+// state: explicit Cancel wins over deadline expiry.
+func (j *Job) interrupted() State {
+	j.mu.Lock()
+	abort := j.userAbort
+	j.mu.Unlock()
+	if abort {
+		return StateCancelled
+	}
+	if j.ctx.Err() == context.DeadlineExceeded {
+		return StateTimeout
+	}
+	return StateCancelled
+}
+
+// Status is the wire form of a job, served by GET /v1/jobs/{id}.
+type Status struct {
+	ID         string          `json:"id"`
+	State      State           `json:"state"`
+	Workload   string          `json:"workload,omitempty"`
+	Kernel     string          `json:"kernel,omitempty"`
+	Arch       string          `json:"arch,omitempty"`
+	CacheHit   bool            `json:"cache_hit"`
+	Error      string          `json:"error,omitempty"`
+	CreatedAt  time.Time       `json:"created_at"`
+	StartedAt  *time.Time      `json:"started_at,omitempty"`
+	FinishedAt *time.Time      `json:"finished_at,omitempty"`
+	Report     json.RawMessage `json:"report,omitempty"`
+}
+
+// Snapshot returns the job's current wire form. The Report field aliases
+// the immutable cached JSON; callers must not mutate it.
+func (j *Job) Snapshot() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:        j.ID,
+		State:     j.state,
+		Workload:  j.req.Workload,
+		Kernel:    j.req.Kernel,
+		Arch:      j.req.Arch,
+		CacheHit:  j.cacheHit,
+		Error:     j.errMsg,
+		CreatedAt: j.created,
+		Report:    j.report,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// StateNow returns the job's current state.
+func (j *Job) StateNow() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"gpuscout/internal/workloads"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/analyze          submit a job; ?async=1 returns 202 + job ID
+//	GET    /v1/jobs/{id}        job status (+ report JSON when done)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/workloads        list built-in workload names
+//	GET    /healthz             liveness probe
+//	GET    /metrics             Prometheus text-format metrics
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req AnalyzeRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decode request: "+err.Error())
+		return
+	}
+
+	j, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure: the bounded queue is at capacity. Tell the client
+		// when to come back instead of buffering unboundedly.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	if async := r.URL.Query().Get("async"); async != "" && async != "0" {
+		writeJSON(w, http.StatusAccepted, map[string]string{
+			"job_id":     j.ID,
+			"status_url": "/v1/jobs/" + j.ID,
+		})
+		return
+	}
+
+	// Synchronous: wait for the job, but give up (and cancel it) if the
+	// client disconnects — nobody is left to read the report.
+	select {
+	case <-j.Done():
+		writeJSON(w, statusCode(j.StateNow()), j.Snapshot())
+	case <-r.Context().Done():
+		j.Cancel()
+	}
+}
+
+// statusCode maps a terminal job state to the sync-response HTTP code.
+func statusCode(st State) int {
+	switch st {
+	case StateDone:
+		return http.StatusOK
+	case StateTimeout:
+		return http.StatusGatewayTimeout
+	case StateCancelled:
+		return http.StatusConflict
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (s *Service) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *Service) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *Service) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"workloads": workloads.Names()})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": s.Uptime().Seconds(),
+		"queue_depth":    s.pool.depth(),
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}

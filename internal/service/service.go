@@ -1,0 +1,345 @@
+// Package service implements gpuscoutd, the long-lived GPUscout analysis
+// service: a bounded job queue feeding a worker pool, a content-addressed
+// LRU report cache in front of the scout.Analyze pipeline, and a
+// hand-rolled Prometheus-format metrics registry — stdlib only.
+//
+// The data path is queue → pool → cache → pipeline: POST /v1/analyze
+// enqueues a job (429 + Retry-After when the queue is full), a worker
+// resolves the kernel (built-in workload, uploaded SASS text, or uploaded
+// cubin), looks its canonical SASS up in the cache, and only on a miss
+// runs the full analysis — under a per-job context whose timeout or
+// cancellation interrupts the simulated launch itself.
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpuscout/internal/cubin"
+	"gpuscout/internal/gpu"
+	"gpuscout/internal/sass"
+	"gpuscout/internal/scout"
+	"gpuscout/internal/sim"
+	"gpuscout/internal/workloads"
+)
+
+// Config tunes the service. The zero value selects sane defaults.
+type Config struct {
+	// Workers is the number of concurrent analysis workers
+	// (default: GOMAXPROCS, capped at 8).
+	Workers int
+	// QueueDepth bounds how many accepted jobs may wait for a worker;
+	// beyond it, submissions are shed with ErrQueueFull (default 64).
+	QueueDepth int
+	// CacheEntries bounds the report cache (default 256; negative
+	// disables caching).
+	CacheEntries int
+	// DefaultTimeout bounds each job unless the request overrides it
+	// (default 2m).
+	DefaultTimeout time.Duration
+	// MaxUploadBytes caps the POST /v1/analyze body (default 8 MiB).
+	MaxUploadBytes int64
+	// MaxJobsRetained caps how many finished jobs are kept for
+	// GET /v1/jobs/{id} before the oldest are pruned (default 1024).
+	MaxJobsRetained int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 8 << 20
+	}
+	if c.MaxJobsRetained <= 0 {
+		c.MaxJobsRetained = 1024
+	}
+}
+
+// Service is the gpuscoutd core, independent of HTTP: Submit feeds the
+// queue, Handler (server.go) wraps it for the wire.
+type Service struct {
+	cfg   Config
+	pool  *pool
+	cache *reportCache
+	reg   *Registry
+	start time.Time
+
+	nextID atomic.Uint64
+
+	jobsMu sync.Mutex
+	jobs   map[string]*Job
+	order  []string // creation order, for pruning finished jobs
+
+	// Metrics (the observability surface of the queue → pool → cache →
+	// pipeline path).
+	jobsInflight  *Gauge
+	jobsFinished  map[State]*Counter
+	cacheHits     *Counter
+	cacheMisses   *Counter
+	stageDuration map[string]*Histogram
+}
+
+// New builds a Service and starts its worker pool.
+func New(cfg Config) (*Service, error) {
+	cfg.applyDefaults()
+	s := &Service{
+		cfg:   cfg,
+		cache: newReportCache(cfg.CacheEntries),
+		reg:   NewRegistry(),
+		start: time.Now(),
+		jobs:  map[string]*Job{},
+	}
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.execute)
+
+	r := s.reg
+	r.NewGaugeFunc("gpuscoutd_queue_depth",
+		"Jobs accepted and waiting for a worker.",
+		func() float64 { return float64(s.pool.depth()) })
+	s.jobsInflight = r.NewGauge("gpuscoutd_jobs_inflight",
+		"Jobs currently executing on the worker pool.")
+	s.jobsFinished = map[State]*Counter{}
+	for _, st := range []State{StateDone, StateFailed, StateCancelled, StateTimeout} {
+		s.jobsFinished[st] = r.NewCounter("gpuscoutd_jobs_finished_total",
+			"Jobs finished, by terminal state.", Label{"state", string(st)})
+	}
+	s.cacheHits = r.NewCounter("gpuscoutd_cache_hits_total",
+		"Analyses served from the content-addressed report cache.")
+	s.cacheMisses = r.NewCounter("gpuscoutd_cache_misses_total",
+		"Analyses that had to run the pipeline.")
+	r.NewGaugeFunc("gpuscoutd_cache_entries",
+		"Reports currently cached.",
+		func() float64 { return float64(s.cache.size()) })
+	s.stageDuration = map[string]*Histogram{}
+	for _, stage := range []string{"build", "analyze", "encode"} {
+		s.stageDuration[stage] = r.NewHistogram("gpuscoutd_stage_seconds",
+			"Per-stage job latency: build (kernel resolution), analyze (pipeline), encode (report JSON).",
+			nil, Label{"stage", stage})
+	}
+	return s, nil
+}
+
+// Metrics exposes the registry (for /metrics and tests).
+func (s *Service) Metrics() *Registry { return s.reg }
+
+// Uptime reports how long the service has been running.
+func (s *Service) Uptime() time.Duration { return time.Since(s.start) }
+
+// Close stops accepting jobs, cancels everything queued or running, and
+// waits for the workers to drain.
+func (s *Service) Close() {
+	s.jobsMu.Lock()
+	for _, j := range s.jobs {
+		j.Cancel()
+	}
+	s.jobsMu.Unlock()
+	s.pool.shutdown()
+}
+
+// Submit validates and enqueues an analysis job. It returns ErrQueueFull
+// when the bounded queue is at capacity and ErrClosed during shutdown;
+// any other error is a request validation failure.
+func (s *Service) Submit(req AnalyzeRequest) (*Job, error) {
+	if err := req.validate(); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	id := fmt.Sprintf("j%08d", s.nextID.Add(1))
+	j := newJob(id, req, ctx, cancel)
+
+	s.jobsMu.Lock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.pruneLocked()
+	s.jobsMu.Unlock()
+
+	if err := s.pool.trySubmit(j); err != nil {
+		cancel()
+		s.jobsMu.Lock()
+		delete(s.jobs, id)
+		if n := len(s.order); n > 0 && s.order[n-1] == id {
+			s.order = s.order[:n-1]
+		}
+		s.jobsMu.Unlock()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Job looks up a submitted job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// pruneLocked evicts the oldest *finished* jobs once over the retention
+// cap; queued and running jobs are never evicted.
+func (s *Service) pruneLocked() {
+	if len(s.jobs) <= s.cfg.MaxJobsRetained {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if len(s.jobs) > s.cfg.MaxJobsRetained && j.StateNow().Terminal() {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// execute runs one job on a worker goroutine: resolve the kernel, consult
+// the cache, run the pipeline, encode and cache the report.
+func (s *Service) execute(j *Job) {
+	if err := j.ctx.Err(); err != nil {
+		j.finish(s.countFinish(j.interrupted()), nil, "aborted before start: "+err.Error(), false)
+		return
+	}
+	j.markRunning()
+	s.jobsInflight.Add(1)
+	defer s.jobsInflight.Add(-1)
+
+	// Stage 1: build — resolve the request to a kernel + launch harness.
+	t0 := time.Now()
+	k, arch, opts, run, err := s.resolve(j.req)
+	s.stageDuration["build"].Observe(time.Since(t0).Seconds())
+	if err != nil {
+		j.finish(s.countFinish(StateFailed), nil, err.Error(), false)
+		return
+	}
+
+	// Stage 2: cache probe on the canonical SASS text. A simulated
+	// workload run keys on its launch configuration too — the same SASS
+	// yields different reports at different problem scales.
+	launch := "static"
+	if run != nil {
+		launch = fmt.Sprintf("workload=%s scale=%d", j.req.Workload, j.req.Scale)
+	}
+	key := CacheKey(sass.Print(k), arch.SM, launch, opts)
+	if data, ok := s.cache.get(key); ok {
+		s.cacheHits.Inc()
+		j.finish(s.countFinish(StateDone), data, "", true)
+		return
+	}
+	s.cacheMisses.Inc()
+
+	// Stage 3: the three-pillar pipeline, under the job's context.
+	t1 := time.Now()
+	rep, err := scout.AnalyzeContext(j.ctx, arch, k, run, opts)
+	s.stageDuration["analyze"].Observe(time.Since(t1).Seconds())
+	if err != nil {
+		if j.ctx.Err() != nil {
+			j.finish(s.countFinish(j.interrupted()), nil, err.Error(), false)
+		} else {
+			j.finish(s.countFinish(StateFailed), nil, err.Error(), false)
+		}
+		return
+	}
+
+	// Stage 4: encode once, cache the immutable bytes.
+	t2 := time.Now()
+	data, err := rep.MarshalJSON()
+	s.stageDuration["encode"].Observe(time.Since(t2).Seconds())
+	if err != nil {
+		j.finish(s.countFinish(StateFailed), nil, "encode report: "+err.Error(), false)
+		return
+	}
+	s.cache.put(key, data)
+	j.finish(s.countFinish(StateDone), data, "", false)
+}
+
+// countFinish bumps the per-state finished counter and passes the state
+// through, so finish call sites stay one-liners.
+func (s *Service) countFinish(st State) State {
+	if c, ok := s.jobsFinished[st]; ok {
+		c.Inc()
+	}
+	return st
+}
+
+// resolve turns a request into (kernel, arch, options, run func). For
+// uploaded SASS and cubins there is no launch harness, so the analysis is
+// forced static (DryRun) — matching the CLI's behavior for -sass/-cubin.
+func (s *Service) resolve(req AnalyzeRequest) (*sass.Kernel, gpu.Arch, scout.Options, scout.RunContextFunc, error) {
+	archName := req.Arch
+	if archName == "" {
+		archName = "sm_70"
+	}
+	arch, err := gpu.ByName(archName)
+	if err != nil {
+		return nil, gpu.Arch{}, scout.Options{}, nil, err
+	}
+	opts := scout.Options{
+		DryRun:         req.DryRun,
+		SamplingPeriod: req.SamplingPeriod,
+		Sim:            sim.Config{SampleSMs: req.SampleSMs},
+	}
+
+	switch {
+	case req.Workload != "":
+		w, err := workloads.Build(req.Workload, req.Scale)
+		if err != nil {
+			return nil, gpu.Arch{}, scout.Options{}, nil, err
+		}
+		var run scout.RunContextFunc
+		if !opts.DryRun {
+			run = func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+				dev := sim.NewDevice(arch)
+				return workloads.ExecuteContext(ctx, w, dev, cfg)
+			}
+		}
+		return w.Kernel, arch, opts, run, nil
+
+	case req.SASS != "":
+		k, err := sass.Parse(req.SASS)
+		if err != nil {
+			return nil, gpu.Arch{}, scout.Options{}, nil, fmt.Errorf("parse SASS: %w", err)
+		}
+		opts.DryRun = true
+		return k, arch, opts, nil, nil
+
+	default: // cubin (validate guarantees exactly one source)
+		bin, err := cubin.Decode(req.Cubin)
+		if err != nil {
+			return nil, gpu.Arch{}, scout.Options{}, nil, err
+		}
+		if len(bin.Kernels) == 0 {
+			return nil, gpu.Arch{}, scout.Options{}, nil, fmt.Errorf("cubin holds no kernels")
+		}
+		k := bin.Kernels[0]
+		if req.Kernel != "" {
+			if k, err = bin.Kernel(req.Kernel); err != nil {
+				return nil, gpu.Arch{}, scout.Options{}, nil, err
+			}
+		}
+		opts.DryRun = true
+		return k, arch, opts, nil, nil
+	}
+}

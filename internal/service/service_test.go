@@ -1,0 +1,407 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpuscout/internal/cubin"
+	"gpuscout/internal/sass"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+func postAnalyze(t *testing.T, ts *httptest.Server, query string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/analyze"+query, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/analyze: %v", err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// metricValue extracts one sample value from Prometheus text output.
+func metricValue(t *testing.T, ts *httptest.Server, sample string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, sample+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+				t.Fatalf("parse metric line %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %q not found in:\n%s", sample, body)
+	return 0
+}
+
+// TestAnalyzeCacheHit is the acceptance flow: the same workload twice,
+// second response served from the content-addressed cache.
+func TestAnalyzeCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	req := `{"workload":"transpose_naive","dry_run":true}`
+
+	resp, body := postAnalyze(t, ts, "", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first analyze: status %d, body %s", resp.StatusCode, body)
+	}
+	var st1 Status
+	if err := json.Unmarshal(body, &st1); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if st1.State != StateDone || st1.CacheHit {
+		t.Fatalf("first analyze: state=%s cacheHit=%v, want done/false", st1.State, st1.CacheHit)
+	}
+	if len(st1.Report) == 0 || !bytes.Contains(st1.Report, []byte(`"kernel"`)) {
+		t.Fatalf("first analyze: missing report JSON: %.120s", st1.Report)
+	}
+
+	resp, body = postAnalyze(t, ts, "", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second analyze: status %d, body %s", resp.StatusCode, body)
+	}
+	var st2 Status
+	if err := json.Unmarshal(body, &st2); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if st2.State != StateDone || !st2.CacheHit {
+		t.Fatalf("second analyze: state=%s cacheHit=%v, want done/true", st2.State, st2.CacheHit)
+	}
+	if !bytes.Equal(st1.Report, st2.Report) {
+		t.Error("cached report differs from the original")
+	}
+
+	if hits := metricValue(t, ts, "gpuscoutd_cache_hits_total"); hits != 1 {
+		t.Errorf("cache hits = %g, want 1", hits)
+	}
+	if misses := metricValue(t, ts, "gpuscoutd_cache_misses_total"); misses != 1 {
+		t.Errorf("cache misses = %g, want 1", misses)
+	}
+	if entries := metricValue(t, ts, "gpuscoutd_cache_entries"); entries != 1 {
+		t.Errorf("cache entries = %g, want 1", entries)
+	}
+}
+
+// TestCacheScaleMiss: a simulated workload at a different problem scale
+// must NOT hit the cache — the kernel SASS is identical across scales,
+// but the simulated report (grid, traffic, stalls) is not. Regression
+// test for the launch fingerprint in CacheKey.
+func TestCacheScaleMiss(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	submit := func(scale int) Status {
+		t.Helper()
+		resp, body := postAnalyze(t, ts, "",
+			fmt.Sprintf(`{"workload":"transpose_naive","scale":%d}`, scale))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scale %d: status %d, body %s", scale, resp.StatusCode, body)
+		}
+		var st Status
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("scale %d: unmarshal: %v", scale, err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("scale %d: state %s, want done", scale, st.State)
+		}
+		return st
+	}
+
+	if st := submit(32); st.CacheHit {
+		t.Fatal("first scale-32 run reported a cache hit")
+	}
+	if st := submit(64); st.CacheHit {
+		t.Fatal("scale-64 run hit the scale-32 cache entry — launch fingerprint missing from key")
+	}
+	if st := submit(32); !st.CacheHit {
+		t.Fatal("repeated scale-32 run missed the cache")
+	}
+	if misses := metricValue(t, ts, "gpuscoutd_cache_misses_total"); misses != 2 {
+		t.Errorf("cache misses = %g, want 2", misses)
+	}
+}
+
+// TestQueueBackpressure fills the bounded queue and expects 429 +
+// Retry-After on the next submission.
+func TestQueueBackpressure(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	slow := `{"workload":"sgemm_naive"}` // full three-pillar run: seconds
+
+	// Job 1: wait until it occupies the single worker.
+	resp, body := postAnalyze(t, ts, "?async=1", slow)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 1: status %d, body %s", resp.StatusCode, body)
+	}
+	var acc1 struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(body, &acc1); err != nil || acc1.JobID == "" {
+		t.Fatalf("job 1 accept body %s: %v", body, err)
+	}
+	waitForState(t, ts, acc1.JobID, StateRunning)
+
+	// Job 2 fills the queue (depth 1).
+	resp, body = postAnalyze(t, ts, "?async=1", slow)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 2: status %d, body %s", resp.StatusCode, body)
+	}
+
+	// Job 3 must be shed with backpressure.
+	resp, body = postAnalyze(t, ts, "?async=1", slow)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job 3: status %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+	if depth := metricValue(t, ts, "gpuscoutd_queue_depth"); depth != 1 {
+		t.Errorf("queue depth = %g, want 1", depth)
+	}
+
+	// Cancel job 1 via the API; it must reach a terminal cancelled state,
+	// freeing the worker for job 2.
+	reqDel, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+acc1.JobID, nil)
+	respDel, err := http.DefaultClient.Do(reqDel)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	respDel.Body.Close()
+	st := waitForTerminal(t, ts, acc1.JobID)
+	if st.State != StateCancelled {
+		t.Errorf("cancelled job state = %s, want %s", st.State, StateCancelled)
+	}
+}
+
+// TestJobTimeout gives a heavy job a tiny deadline and expects the
+// simulation to be interrupted, reporting state "timeout".
+func TestJobTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	resp, body := postAnalyze(t, ts, "", `{"workload":"sgemm_naive","timeout_ms":20}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (body %s)", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if st.State != StateTimeout {
+		t.Errorf("state = %s, want %s", st.State, StateTimeout)
+	}
+	if st.Error == "" {
+		t.Error("timed-out job carries no error message")
+	}
+	if n := metricValue(t, ts, `gpuscoutd_jobs_finished_total{state="timeout"}`); n != 1 {
+		t.Errorf("timeout counter = %g, want 1", n)
+	}
+}
+
+// TestAnalyzeSASSUpload posts raw SASS text; the service analyzes it
+// statically.
+func TestAnalyzeSASSUpload(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	text := sass.Print(testKernel(t))
+	reqBody, _ := json.Marshal(AnalyzeRequest{SASS: text})
+	resp, body := postAnalyze(t, ts, "", string(reqBody))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+	var rep struct {
+		DryRun bool `json:"dry_run"`
+	}
+	if err := json.Unmarshal(st.Report, &rep); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if !rep.DryRun {
+		t.Error("uploaded SASS must be analyzed as a dry run")
+	}
+}
+
+// TestAnalyzeCubinUpload round-trips a kernel through the cubin codec and
+// the HTTP API, including the corrupt-input path.
+func TestAnalyzeCubinUpload(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	bin := cubin.New("sm_70")
+	if err := bin.Add(testKernel(t)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := cubin.Encode(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqBody, _ := json.Marshal(AnalyzeRequest{Cubin: data})
+	resp, body := postAnalyze(t, ts, "", string(reqBody))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+
+	// Corrupt cubin: the job must fail with a descriptive error, not 500.
+	reqBody, _ = json.Marshal(AnalyzeRequest{Cubin: data[:len(data)/2]})
+	resp, body = postAnalyze(t, ts, "", string(reqBody))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupt cubin: status %d, body %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if st.State != StateFailed || !strings.Contains(st.Error, "cubin") {
+		t.Errorf("corrupt cubin: state=%s error=%q", st.State, st.Error)
+	}
+}
+
+// TestRequestValidation exercises the 400 paths.
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	for _, body := range []string{
+		`{}`, // no source
+		`{"workload":"transpose_naive","sass":"x"}`, // two sources
+		`{"workload":"transpose_naive","scale":-1}`,
+		`{"kernel":"k","workload":"transpose_naive"}`, // kernel without cubin
+		`{"unknown_field":1}`,
+		`not json`,
+	} {
+		resp, _ := postAnalyze(t, ts, "", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	// Unknown workload fails at build time (the request shape is valid).
+	resp, body := postAnalyze(t, ts, "", `{"workload":"nope"}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unknown workload: status %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// TestEndpoints covers workloads, healthz, job lookup misses.
+func TestEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	var wl struct {
+		Workloads []string `json:"workloads"`
+	}
+	getJSON(t, ts.URL+"/v1/workloads", &wl)
+	if len(wl.Workloads) == 0 {
+		t.Error("no workloads listed")
+	}
+	found := false
+	for _, n := range wl.Workloads {
+		if n == "sgemm_naive" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sgemm_naive missing from %v", wl.Workloads)
+	}
+
+	var hz struct {
+		Status string `json:"status"`
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", &hz); resp.StatusCode != http.StatusOK || hz.Status != "ok" {
+		t.Errorf("healthz: %d %q", resp.StatusCode, hz.Status)
+	}
+
+	if resp := getJSON(t, ts.URL+"/v1/jobs/j99999999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func waitForState(t *testing.T, ts *httptest.Server, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var st Status
+		getJSON(t, ts.URL+"/v1/jobs/"+id, &st)
+		if st.State == want || st.State.Terminal() {
+			if st.State != want {
+				t.Fatalf("job %s reached %s while waiting for %s (%s)", id, st.State, want, st.Error)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+}
+
+func waitForTerminal(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		var st Status
+		getJSON(t, ts.URL+"/v1/jobs/"+id, &st)
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return Status{}
+}
+
+// testKernel builds a small valid kernel for upload tests.
+func testKernel(t *testing.T) *sass.Kernel {
+	t.Helper()
+	k := &sass.Kernel{
+		Name: "_Z4tinyPf", Arch: "sm_70", NumRegs: 8, ConstBytes: 0x170,
+		SourceFile: "tiny.cu",
+		Source:     []string{"__global__ void tiny(float* x) {", "  x[0] = 1.0f;", "}"},
+	}
+	ctrl := sass.DefaultCtrl()
+	k.Insts = []sass.Inst{
+		{Pred: sass.PT, Op: sass.OpMOV, Dst: []sass.Operand{sass.R(0)}, Src: []sass.Operand{sass.Imm(0x3f800000)}, Ctrl: ctrl, Line: 2},
+		{Pred: sass.PT, Op: sass.OpSTG, Mods: []string{"E", "SYS"}, Dst: []sass.Operand{sass.Mem(2, 0)}, Src: []sass.Operand{sass.R(0)}, Ctrl: ctrl, Line: 2},
+		{Pred: sass.PT, Op: sass.OpEXIT, Ctrl: ctrl, Line: 3},
+	}
+	k.RenumberPCs()
+	return k
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -32,6 +33,7 @@ type LaunchSpec struct {
 
 // engine holds everything one simulated launch needs.
 type engine struct {
+	ctx     context.Context
 	dev     *Device
 	arch    gpu.Arch
 	kernel  *sass.Kernel
@@ -60,6 +62,17 @@ const paramBase = 0x160
 // counters. Functional effects (buffer contents, atomics) are applied to
 // the device memory.
 func Launch(dev *Device, spec LaunchSpec, cfg Config) (*Result, error) {
+	return LaunchContext(context.Background(), dev, spec, cfg)
+}
+
+// LaunchContext is Launch with cancellation: the simulation loop polls
+// ctx and aborts promptly (within a few thousand simulated cycles) when
+// it is cancelled or its deadline passes, returning an error satisfying
+// errors.Is(err, ctx.Err()).
+func LaunchContext(ctx context.Context, dev *Device, spec LaunchSpec, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	k := spec.Kernel
 	if err := k.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -88,6 +101,7 @@ func Launch(dev *Device, spec LaunchSpec, cfg Config) (*Result, error) {
 	}
 
 	e := &engine{
+		ctx:       ctx,
 		dev:       dev,
 		arch:      dev.Arch,
 		kernel:    k,
@@ -255,7 +269,18 @@ func (e *engine) runSM(smID int, blockIdxs []Dim3) (float64, error) {
 		numSched = 4
 	}
 
-	for {
+	for iter := 0; ; iter++ {
+		// Cancellation poll: cheap enough amortized over 1024 scheduler
+		// rounds, frequent enough that a daemon's per-job timeout actually
+		// interrupts a long simulation.
+		if iter&1023 == 0 {
+			select {
+			case <-e.ctx.Done():
+				return 0, fmt.Errorf("sim: kernel %s aborted at cycle %.0f on SM %d: %w",
+					e.kernel.Name, sm.now, smID, e.ctx.Err())
+			default:
+			}
+		}
 		// Completion check and per-warp classification. Snapshot the warp
 		// list: issuing an EXIT can retire a block and launch a pending
 		// one, appending warps that are only considered next iteration.

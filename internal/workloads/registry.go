@@ -9,6 +9,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -75,11 +76,17 @@ func Build(name string, scale int) (*Workload, error) {
 // Execute prepares and launches the workload on a fresh device, verifies
 // the result, and returns the simulation result.
 func Execute(w *Workload, dev *sim.Device, cfg sim.Config) (*sim.Result, error) {
+	return ExecuteContext(context.Background(), w, dev, cfg)
+}
+
+// ExecuteContext is Execute with cancellation: the simulated launch polls
+// ctx and aborts promptly when it is cancelled.
+func ExecuteContext(ctx context.Context, w *Workload, dev *sim.Device, cfg sim.Config) (*sim.Result, error) {
 	run, err := w.Prepare(dev)
 	if err != nil {
 		return nil, fmt.Errorf("workloads: prepare %s: %w", w.Name, err)
 	}
-	res, err := sim.Launch(dev, run.Spec, cfg)
+	res, err := sim.LaunchContext(ctx, dev, run.Spec, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("workloads: launch %s: %w", w.Name, err)
 	}

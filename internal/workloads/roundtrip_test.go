@@ -1,0 +1,78 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"gpuscout/internal/sass"
+)
+
+// TestCanonicalSASSRoundTrip asserts ParseSASS(PrintSASS(k)) is lossless
+// for every registered workload kernel. The gpuscoutd report cache keys
+// on the canonical SASS text (internal/service.CacheKey), so two kernels
+// must produce the same text iff they analyze identically: the printed
+// form has to capture the full instruction stream, control info, resource
+// header, and line table, and re-printing the parsed kernel must be a
+// fixed point.
+func TestCanonicalSASSRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			w, err := Build(name, 0)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			k := w.Kernel
+			text := sass.Print(k)
+
+			k2, err := sass.Parse(text)
+			if err != nil {
+				t.Fatalf("Parse(Print(k)): %v", err)
+			}
+
+			// The text form is a fixed point of Print∘Parse.
+			if text2 := sass.Print(k2); text2 != text {
+				t.Fatalf("Print(Parse(Print(k))) differs:\n--- first\n%.400s\n--- second\n%.400s", text, text2)
+			}
+
+			// Header resources survive (they are part of the .kernel line).
+			if k2.Name != k.Name || k2.Arch != k.Arch {
+				t.Errorf("identity lost: %s/%s vs %s/%s", k2.Name, k2.Arch, k.Name, k.Arch)
+			}
+			if k2.NumRegs != k.NumRegs || k2.SharedBytes != k.SharedBytes ||
+				k2.LocalBytes != k.LocalBytes || k2.ConstBytes != k.ConstBytes {
+				t.Errorf("resources lost: regs %d→%d shared %d→%d local %d→%d const %d→%d",
+					k.NumRegs, k2.NumRegs, k.SharedBytes, k2.SharedBytes,
+					k.LocalBytes, k2.LocalBytes, k.ConstBytes, k2.ConstBytes)
+			}
+
+			// Every instruction survives: opcode, operands, predicate,
+			// control info, and source-line attribution.
+			if len(k2.Insts) != len(k.Insts) {
+				t.Fatalf("instruction count %d → %d", len(k.Insts), len(k2.Insts))
+			}
+			for i := range k.Insts {
+				a, b := &k.Insts[i], &k2.Insts[i]
+				if a.String() != b.String() {
+					t.Errorf("inst %d text: %q → %q", i, a.String(), b.String())
+				}
+				if a.Ctrl != b.Ctrl {
+					t.Errorf("inst %d ctrl: %+v → %+v", i, a.Ctrl, b.Ctrl)
+				}
+				if a.Line != b.Line {
+					t.Errorf("inst %d line: %d → %d", i, a.Line, b.Line)
+				}
+				if a.Op != b.Op || a.Pred != b.Pred || a.PredNeg != b.PredNeg {
+					t.Errorf("inst %d op/pred mismatch", i)
+				}
+				if !reflect.DeepEqual(a.Mods, b.Mods) {
+					t.Errorf("inst %d mods: %v → %v", i, a.Mods, b.Mods)
+				}
+			}
+
+			// The parsed kernel is still valid and analyzable.
+			if err := k2.Validate(); err != nil {
+				t.Errorf("reparsed kernel invalid: %v", err)
+			}
+		})
+	}
+}
