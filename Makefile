@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race serve
+.PHONY: check build vet test race serve bench-parallel fmt-check
 
 check: build vet race
 
@@ -24,3 +24,13 @@ race:
 # Run the analysis service locally.
 serve:
 	$(GO) run ./cmd/gpuscoutd -addr :8090
+
+# Parallel-simulation benchmark + regression gate (what the nightly
+# bench workflow runs); writes BENCH_parallel_sim.json.
+bench-parallel:
+	$(GO) test -run '^$$' -bench BenchmarkParallelLaunch -cpu 1,4 \
+		-benchtime=3x -timeout 30m . | tee bench.txt
+	$(GO) run ./cmd/benchgate -in bench.txt -out BENCH_parallel_sim.json
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "$$out"; exit 1; fi

@@ -145,6 +145,51 @@ func BenchmarkFig7_Compare(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelLaunch measures the parallel per-SM simulation against
+// its sequential reference. Workers is left at 0 so the effective
+// parallelism tracks GOMAXPROCS — run with -cpu 1,2,4 to compare:
+//
+//	go test -bench=BenchmarkParallelLaunch -cpu 1,4 -benchtime=3x
+//
+// The per-launch sm_speedup_x metric reports the simulator's own
+// aggregate-SM-time / wall-time ratio; cmd/benchgate consumes the ns/op
+// series to gate regressions in CI. Prepare runs once outside the timed
+// loop (host-side buffer setup and verification are not what this
+// benchmark measures), and SampleSMs is 8 so there are enough
+// independent SMs to spread across 4 workers.
+func BenchmarkParallelLaunch(b *testing.B) {
+	for _, wl := range []struct {
+		name  string
+		scale int
+	}{
+		{"sgemm_naive", 192},
+		{"jacobi_naive", 512},
+	} {
+		b.Run(wl.name, func(b *testing.B) {
+			w, err := gpuscout.BuildWorkload(wl.name, wl.scale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dev := gpuscout.NewDevice(gpuscout.V100())
+			run, err := w.Prepare(dev)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := sim.Config{SampleSMs: 8}
+			var speedup float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := gpuscout.Launch(dev, run.Spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = res.Host.Speedup()
+			}
+			b.ReportMetric(speedup, "sm_speedup_x")
+		})
+	}
+}
+
 // BenchmarkDryRun measures the static-only analysis path (§3.1): the SASS
 // pillar alone, independent of kernel execution time — the flat line of
 // Fig. 6.

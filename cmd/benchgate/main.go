@@ -1,0 +1,216 @@
+// Command benchgate turns `go test -bench` output into a machine-readable
+// benchmark report and a pass/fail regression gate for the parallel
+// simulator. The nightly CI job runs
+//
+//	go test -run '^$' -bench BenchmarkParallelLaunch -cpu 1,4 -benchtime=3x . \
+//	    | go run ./cmd/benchgate -out BENCH_parallel_sim.json
+//
+// benchgate pairs each benchmark's 1-CPU run (no -N name suffix) with its
+// multi-CPU run (-4 suffix by default), writes the pairs as JSON, and
+// exits non-zero when any multi-CPU run is slower than its 1-CPU
+// counterpart by more than the allowed ratio — the parallel path must
+// never cost real time, even on hosts where it cannot win any.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed benchmark line.
+type Sample struct {
+	// Name is the benchmark name without any -N cpu suffix.
+	Name string `json:"name"`
+	// CPUs is the GOMAXPROCS of the run (1 when the name has no suffix).
+	CPUs int `json:"cpus"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds the custom b.ReportMetric values (e.g. sm_speedup_x).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Pair couples a benchmark's single-CPU and multi-CPU runs.
+type Pair struct {
+	Name        string  `json:"name"`
+	BaseNsPerOp float64 `json:"base_ns_per_op"`
+	ParNsPerOp  float64 `json:"par_ns_per_op"`
+	ParCPUs     int     `json:"par_cpus"`
+	// Ratio is par/base; below 1 the parallel run is faster.
+	Ratio float64 `json:"ratio"`
+	// Speedup is base/par, the wall-clock gain of the parallel run.
+	Speedup float64 `json:"speedup"`
+	// SMSpeedup carries the benchmark's own sm_speedup_x metric for the
+	// parallel run, when present: the simulator-measured concurrency
+	// overlap, meaningful even on CPU-starved hosts.
+	SMSpeedup float64 `json:"sm_speedup,omitempty"`
+	Pass      bool    `json:"pass"`
+}
+
+// Report is the written JSON document.
+type Report struct {
+	MaxRatio float64  `json:"max_ratio"`
+	Pass     bool     `json:"pass"`
+	Pairs    []Pair   `json:"pairs"`
+	Samples  []Sample `json:"samples"`
+}
+
+func main() {
+	var (
+		in       = flag.String("in", "-", "benchmark output to read (- = stdin)")
+		out      = flag.String("out", "BENCH_parallel_sim.json", "JSON report path (- = stdout, empty = none)")
+		cpus     = flag.Int("cpus", 4, "cpu suffix of the parallel runs to gate")
+		maxRatio = flag.Float64("max-ratio", 1.10, "fail when parallel ns/op exceeds sequential by this factor")
+	)
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	samples, err := parseBench(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	rep := gate(samples, *cpus, *maxRatio)
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if *out == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, p := range rep.Pairs {
+		status := "ok"
+		if !p.Pass {
+			status = "REGRESSION"
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: %-40s base %12.0f ns/op  %d-cpu %12.0f ns/op  ratio %.3f  %s\n",
+			p.Name, p.BaseNsPerOp, p.ParCPUs, p.ParNsPerOp, p.Ratio, status)
+	}
+	if !rep.Pass {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — a %d-cpu run is more than %.0f%% slower than its 1-cpu baseline\n",
+			*cpus, (*maxRatio-1)*100)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchgate: PASS")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}
+
+// parseBench extracts Samples from `go test -bench` output. A benchmark
+// line looks like
+//
+//	BenchmarkParallelLaunch/sgemm_naive-4  3  376768490 ns/op  3.749 sm_speedup_x
+//
+// where the trailing -4 is the GOMAXPROCS suffix (absent for 1).
+func parseBench(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then value/unit pairs.
+		if len(fields) < 4 {
+			continue
+		}
+		s := Sample{Name: fields[0], CPUs: 1, Metrics: map[string]float64{}}
+		if i := strings.LastIndex(s.Name, "-"); i > 0 {
+			if n, err := strconv.Atoi(s.Name[i+1:]); err == nil && n > 1 {
+				s.Name, s.CPUs = s.Name[:i], n
+			}
+		}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				s.NsPerOp, ok = v, true
+			} else {
+				s.Metrics[fields[i+1]] = v
+			}
+		}
+		if ok {
+			out = append(out, s)
+		}
+	}
+	return out, sc.Err()
+}
+
+// gate pairs each benchmark's 1-CPU sample with its parCPUs sample and
+// applies the ratio threshold. With -count > 1 each side keeps its best
+// (minimum ns/op) run, the standard way to damp scheduler noise.
+// Benchmarks missing either side are reported as samples but not gated.
+func gate(samples []Sample, parCPUs int, maxRatio float64) Report {
+	base := map[string]Sample{}
+	par := map[string]Sample{}
+	keepBest := func(m map[string]Sample, s Sample) {
+		if prev, ok := m[s.Name]; !ok || s.NsPerOp < prev.NsPerOp {
+			m[s.Name] = s
+		}
+	}
+	for _, s := range samples {
+		switch s.CPUs {
+		case 1:
+			keepBest(base, s)
+		case parCPUs:
+			keepBest(par, s)
+		}
+	}
+	rep := Report{MaxRatio: maxRatio, Pass: true, Samples: samples}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if _, ok := par[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, p := base[name], par[name]
+		pair := Pair{
+			Name:        name,
+			BaseNsPerOp: b.NsPerOp,
+			ParNsPerOp:  p.NsPerOp,
+			ParCPUs:     parCPUs,
+			Ratio:       p.NsPerOp / b.NsPerOp,
+			Speedup:     b.NsPerOp / p.NsPerOp,
+			SMSpeedup:   p.Metrics["sm_speedup_x"],
+		}
+		pair.Pass = pair.Ratio <= maxRatio
+		if !pair.Pass {
+			rep.Pass = false
+		}
+		rep.Pairs = append(rep.Pairs, pair)
+	}
+	return rep
+}

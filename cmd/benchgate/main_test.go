@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: gpuscout
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkParallelLaunch/sgemm_naive           	       3	 323249914 ns/op	         0.9989 sm_speedup_x
+BenchmarkParallelLaunch/sgemm_naive-4         	       3	 120768490 ns/op	         3.749 sm_speedup_x
+BenchmarkParallelLaunch/jacobi_naive          	       3	 129750708 ns/op	         0.9984 sm_speedup_x
+BenchmarkParallelLaunch/jacobi_naive-4        	       3	  41635622 ns/op	         3.316 sm_speedup_x
+BenchmarkDryRun-4                             	     100	   1234567 ns/op
+PASS
+ok  	gpuscout	5.950s
+`
+
+func TestParseBench(t *testing.T) {
+	samples, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("parsed %d samples, want 5", len(samples))
+	}
+	s := samples[1]
+	if s.Name != "BenchmarkParallelLaunch/sgemm_naive" || s.CPUs != 4 {
+		t.Errorf("sample 1 = %q cpus %d, want sgemm_naive cpus 4", s.Name, s.CPUs)
+	}
+	if s.NsPerOp != 120768490 {
+		t.Errorf("NsPerOp = %v", s.NsPerOp)
+	}
+	if s.Metrics["sm_speedup_x"] != 3.749 {
+		t.Errorf("sm_speedup_x = %v", s.Metrics["sm_speedup_x"])
+	}
+	// The unsuffixed run is CPUs 1; a workload name with dashes must not
+	// be mis-split (only a trailing integer > 1 is a cpu suffix).
+	if samples[0].CPUs != 1 {
+		t.Errorf("unsuffixed sample parsed as cpus %d", samples[0].CPUs)
+	}
+}
+
+func TestGatePass(t *testing.T) {
+	samples, _ := parseBench(strings.NewReader(sampleOutput))
+	rep := gate(samples, 4, 1.10)
+	if !rep.Pass {
+		t.Fatalf("gate failed: %+v", rep.Pairs)
+	}
+	if len(rep.Pairs) != 2 {
+		t.Fatalf("paired %d benchmarks, want 2 (DryRun has no 1-cpu baseline)", len(rep.Pairs))
+	}
+	// Pairs are sorted by name.
+	if rep.Pairs[0].Name != "BenchmarkParallelLaunch/jacobi_naive" {
+		t.Errorf("pair order: %q first", rep.Pairs[0].Name)
+	}
+	p := rep.Pairs[1]
+	if p.Ratio >= 1 || p.Speedup < 2.5 {
+		t.Errorf("sgemm pair ratio %.3f speedup %.3f", p.Ratio, p.Speedup)
+	}
+	if p.SMSpeedup != 3.749 {
+		t.Errorf("SMSpeedup = %v", p.SMSpeedup)
+	}
+}
+
+func TestGateRegression(t *testing.T) {
+	slow := strings.ReplaceAll(sampleOutput,
+		"BenchmarkParallelLaunch/sgemm_naive-4         	       3	 120768490 ns/op",
+		"BenchmarkParallelLaunch/sgemm_naive-4         	       3	 400000000 ns/op")
+	samples, _ := parseBench(strings.NewReader(slow))
+	rep := gate(samples, 4, 1.10)
+	if rep.Pass {
+		t.Fatal("gate passed a 24% regression")
+	}
+	var failed int
+	for _, p := range rep.Pairs {
+		if !p.Pass {
+			failed++
+			if p.Name != "BenchmarkParallelLaunch/sgemm_naive" {
+				t.Errorf("wrong pair failed: %q", p.Name)
+			}
+		}
+	}
+	if failed != 1 {
+		t.Errorf("%d pairs failed, want 1", failed)
+	}
+}
+
+func TestGateToleratesSmallSlowdown(t *testing.T) {
+	// 5% slower than baseline stays within the 10% budget — noise on a
+	// loaded or single-core host must not flap the gate.
+	in := `BenchmarkParallelLaunch/x 	 3	 100000000 ns/op
+BenchmarkParallelLaunch/x-4 	 3	 105000000 ns/op
+`
+	samples, err := parseBench(strings.NewReader(in))
+	if err != nil || len(samples) != 2 {
+		t.Fatalf("parse: %v, %d samples", err, len(samples))
+	}
+	if rep := gate(samples, 4, 1.10); !rep.Pass {
+		t.Errorf("5%% slowdown failed the 10%% gate: %+v", rep.Pairs)
+	}
+}

@@ -36,6 +36,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 2*time.Minute, "default per-job timeout")
 		maxBody  = flag.Int64("max-upload", 8<<20, "max request body bytes (SASS/cubin uploads)")
 		retained = flag.Int("retained-jobs", 1024, "finished jobs kept for GET /v1/jobs/{id}")
+		simW     = flag.Int("sim-workers", 1, "default per-launch simulation parallelism (sampled SMs simulated concurrently); jobs may override via sim_workers")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		DefaultTimeout:  *timeout,
 		MaxUploadBytes:  *maxBody,
 		MaxJobsRetained: *retained,
+		SimWorkers:      *simW,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpuscoutd:", err)

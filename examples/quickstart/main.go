@@ -76,7 +76,7 @@ func main() {
 		Block:  gpuscout.D1(256),
 		Params: []uint64{inBuf.Addr, outBuf.Addr, uint64(math.Float32bits(2.5))},
 	}
-	res, err := gpuscout.Launch(dev, spec, gpuscout.SimConfig{SampleSMs: 80})
+	res, err := gpuscout.Launch(dev, spec, gpuscout.SimConfig{SampleSMs: arch.NumSMs})
 	if err != nil {
 		log.Fatal(err)
 	}

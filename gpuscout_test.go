@@ -81,7 +81,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		Block:  gpuscout.D1(128),
 		Params: []uint64{inBuf.Addr, outBuf.Addr, uint64(math.Float32bits(3))},
 	}
-	res, err := gpuscout.Launch(dev, spec, gpuscout.SimConfig{SampleSMs: 80})
+	res, err := gpuscout.Launch(dev, spec, gpuscout.SimConfig{SampleSMs: arch.NumSMs})
 	if err != nil {
 		t.Fatalf("Launch: %v", err)
 	}

@@ -88,6 +88,9 @@ func CacheKey(canonicalSASS, archTag, launch string, opts scout.Options) string 
 	h.Write([]byte{0})
 	io.WriteString(h, launch)
 	h.Write([]byte{0})
+	// opts.Sim.Workers is deliberately not fingerprinted: the simulator
+	// guarantees bit-identical results for every worker count, so a
+	// report computed at any parallelism serves requests at all of them.
 	fmt.Fprintf(h, "dryrun=%t period=%g samplesms=%d maxcycles=%g",
 		opts.DryRun, opts.SamplingPeriod, opts.Sim.SampleSMs, opts.Sim.MaxCycles)
 	h.Write([]byte{0})

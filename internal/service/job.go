@@ -60,6 +60,11 @@ type AnalyzeRequest struct {
 	SamplingPeriod float64 `json:"sampling_period,omitempty"`
 	// SampleSMs caps how many SMs the simulator models (0 = default).
 	SampleSMs int `json:"sample_sms,omitempty"`
+	// SimWorkers sets how many sampled SMs simulate concurrently for
+	// this job (0 = the server default, normally 1). Any value yields
+	// the same report; higher values shorten one job at the expense of
+	// neighbors on a busy daemon.
+	SimWorkers int `json:"sim_workers,omitempty"`
 	// TimeoutMS bounds this job's execution (0 = the server default).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
@@ -84,6 +89,9 @@ func (r *AnalyzeRequest) validate() error {
 	}
 	if r.Scale < 0 {
 		return fmt.Errorf("scale must be >= 0")
+	}
+	if r.SimWorkers < 0 {
+		return fmt.Errorf("sim_workers must be >= 0")
 	}
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms must be >= 0")

@@ -46,6 +46,14 @@ type Config struct {
 	// MaxJobsRetained caps how many finished jobs are kept for
 	// GET /v1/jobs/{id} before the oldest are pruned (default 1024).
 	MaxJobsRetained int
+	// SimWorkers is the default per-launch simulation parallelism
+	// (sim.Config.Workers) for jobs that don't set sim_workers. The
+	// default is 1: the pool already runs Workers jobs concurrently, so
+	// fanning each launch out across cores would oversubscribe the
+	// machine; raise it on a lightly loaded daemon to trade job
+	// throughput for single-job latency. Results are identical either
+	// way (the simulator's determinism guarantee).
+	SimWorkers int
 }
 
 func (c *Config) applyDefaults() {
@@ -69,6 +77,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxJobsRetained <= 0 {
 		c.MaxJobsRetained = 1024
+	}
+	if c.SimWorkers <= 0 {
+		c.SimWorkers = 1
 	}
 }
 
@@ -94,6 +105,8 @@ type Service struct {
 	cacheHits     *Counter
 	cacheMisses   *Counter
 	stageDuration map[string]*Histogram
+	simWall       *Histogram
+	simSpeedup    *Histogram
 }
 
 // New builds a Service and starts its worker pool.
@@ -132,6 +145,14 @@ func New(cfg Config) (*Service, error) {
 			"Per-stage job latency: build (kernel resolution), analyze (pipeline), encode (report JSON).",
 			nil, Label{"stage", stage})
 	}
+	r.NewGaugeFunc("gpuscoutd_sim_workers_default",
+		"Per-launch simulation parallelism applied to jobs that don't set sim_workers.",
+		func() float64 { return float64(s.cfg.SimWorkers) })
+	s.simWall = r.NewHistogram("gpuscoutd_sim_wall_seconds",
+		"Host wall time of each simulated launch's SM phase.", nil)
+	s.simSpeedup = r.NewHistogram("gpuscoutd_sim_speedup",
+		"Achieved parallel speedup per simulated launch (aggregate per-SM time over wall time).",
+		[]float64{1, 1.25, 1.5, 2, 3, 4, 6, 8, 12, 16})
 	return s, nil
 }
 
@@ -296,10 +317,14 @@ func (s *Service) resolve(req AnalyzeRequest) (*sass.Kernel, gpu.Arch, scout.Opt
 	if err != nil {
 		return nil, gpu.Arch{}, scout.Options{}, nil, err
 	}
+	simWorkers := req.SimWorkers
+	if simWorkers <= 0 {
+		simWorkers = s.cfg.SimWorkers
+	}
 	opts := scout.Options{
 		DryRun:         req.DryRun,
 		SamplingPeriod: req.SamplingPeriod,
-		Sim:            sim.Config{SampleSMs: req.SampleSMs},
+		Sim:            sim.Config{SampleSMs: req.SampleSMs, Workers: simWorkers},
 	}
 
 	switch {
@@ -312,7 +337,12 @@ func (s *Service) resolve(req AnalyzeRequest) (*sass.Kernel, gpu.Arch, scout.Opt
 		if !opts.DryRun {
 			run = func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
 				dev := sim.NewDevice(arch)
-				return workloads.ExecuteContext(ctx, w, dev, cfg)
+				res, err := workloads.ExecuteContext(ctx, w, dev, cfg)
+				if err == nil {
+					s.simWall.Observe(res.Host.WallSeconds)
+					s.simSpeedup.Observe(res.Host.Speedup())
+				}
+				return res, err
 			}
 		}
 		return w.Kernel, arch, opts, run, nil

@@ -405,3 +405,56 @@ func testKernel(t *testing.T) *sass.Kernel {
 	k.RenumberPCs()
 	return k
 }
+
+// TestSimWorkersPlumbing: sim_workers reaches the simulator (the job
+// completes, the per-launch sim metrics are observed), and a follow-up
+// request differing only in sim_workers is served from the cache —
+// worker count is deliberately absent from the cache key because
+// results are worker-invariant.
+func TestSimWorkersPlumbing(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+
+	resp, body := postAnalyze(t, ts, "", `{"workload":"transpose_naive","scale":32,"sim_workers":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: status %d, body %s", resp.StatusCode, body)
+	}
+	var st1 Status
+	if err := json.Unmarshal(body, &st1); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if st1.State != StateDone || st1.CacheHit {
+		t.Fatalf("first analyze: state=%s cacheHit=%v, want done/false (err %q)", st1.State, st1.CacheHit, st1.Error)
+	}
+	if n := metricValue(t, ts, "gpuscoutd_sim_speedup_count"); n < 1 {
+		t.Errorf("sim speedup observations = %g, want >= 1", n)
+	}
+	if n := metricValue(t, ts, "gpuscoutd_sim_wall_seconds_count"); n < 1 {
+		t.Errorf("sim wall-time observations = %g, want >= 1", n)
+	}
+	if v := metricValue(t, ts, "gpuscoutd_sim_workers_default"); v != 1 {
+		t.Errorf("sim workers default = %g, want 1", v)
+	}
+
+	resp, body = postAnalyze(t, ts, "", `{"workload":"transpose_naive","scale":32,"sim_workers":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second analyze: status %d, body %s", resp.StatusCode, body)
+	}
+	var st2 Status
+	if err := json.Unmarshal(body, &st2); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if st2.State != StateDone || !st2.CacheHit {
+		t.Fatalf("second analyze: state=%s cacheHit=%v, want done/true — sim_workers must not change the cache key", st2.State, st2.CacheHit)
+	}
+	if !bytes.Equal(st1.Report, st2.Report) {
+		t.Error("report differs across sim_workers values")
+	}
+}
+
+// TestSimWorkersValidation rejects negative sim_workers.
+func TestSimWorkersValidation(t *testing.T) {
+	req := AnalyzeRequest{Workload: "transpose_naive", SimWorkers: -1}
+	if err := req.validate(); err == nil {
+		t.Error("negative sim_workers accepted")
+	}
+}

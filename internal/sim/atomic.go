@@ -1,0 +1,33 @@
+package sim
+
+import "sync"
+
+// atomShards is the number of locks the atomic unit spreads addresses
+// over. Power of two so the shard index is a mask; 64 keeps false
+// sharing between unrelated histogram bins unlikely while staying small
+// enough to embed in every engine.
+const atomShards = 64
+
+// atomicUnit serializes cross-SM global atomics. The hardware analogue
+// is the L2 atomic units: read-modify-writes to one address always
+// observe each other, while atomics to different addresses proceed
+// independently. Sharding by word address approximates that — two
+// addresses only contend when they fall in the same shard.
+//
+// The unit guards functional correctness, not ordering: a parallel
+// launch may interleave atomics from different SMs in any order, so
+// bit-identical results across worker counts additionally require the
+// kernel's atomic combines to be order-invariant (integer ADD/MIN/MAX,
+// or float adds whose intermediate sums are exactly representable —
+// true of every registered workload). Order-sensitive uses (float ATOM
+// with a consumed return value) stay correct but may differ between
+// worker counts; see DESIGN.md.
+type atomicUnit struct {
+	shards [atomShards]sync.Mutex
+}
+
+// lock returns the mutex guarding addr's shard. Addresses are word
+// (4-byte) granular, matching the 32-bit atomics the ISA models.
+func (u *atomicUnit) lock(addr uint64) *sync.Mutex {
+	return &u.shards[(addr>>2)&(atomShards-1)]
+}

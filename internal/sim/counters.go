@@ -67,7 +67,92 @@ func (c *Counters) addStall(pc uint64, reason Stall, dt float64) {
 	c.pcStall(pc)[reason] += dt
 }
 
+// merge folds one SM's counters into c. LaunchContext calls it in fixed
+// SM-ID order for every worker count, so float accumulation order — and
+// hence every value here — is identical between sequential and parallel
+// runs. Keep this exhaustive over the struct's fields;
+// TestCountersMergeCoversAllFields enforces it by reflection.
+func (c *Counters) merge(o *Counters) {
+	c.WarpInsts += o.WarpInsts
+	c.ThreadInsts += o.ThreadInsts
+	for op, n := range o.OpcodeDyn {
+		c.OpcodeDyn[op] += n
+	}
+
+	c.GlobalLdSectors += o.GlobalLdSectors
+	c.GlobalLdSectorHits += o.GlobalLdSectorHits
+	c.GlobalStSectors += o.GlobalStSectors
+	c.LocalLdSectors += o.LocalLdSectors
+	c.LocalLdSectorHits += o.LocalLdSectorHits
+	c.LocalStSectors += o.LocalStSectors
+	c.TexSectors += o.TexSectors
+	c.TexSectorHits += o.TexSectorHits
+
+	c.GlobalLdInsts += o.GlobalLdInsts
+	c.GlobalStInsts += o.GlobalStInsts
+	c.LocalLdInsts += o.LocalLdInsts
+	c.LocalStInsts += o.LocalStInsts
+	c.SharedLdInsts += o.SharedLdInsts
+	c.SharedStInsts += o.SharedStInsts
+	c.TexInsts += o.TexInsts
+	c.GlobalAtomics += o.GlobalAtomics
+	c.SharedAtomics += o.SharedAtomics
+
+	c.SharedLdTrans += o.SharedLdTrans
+	c.SharedStTrans += o.SharedStTrans
+
+	c.L2Sectors += o.L2Sectors
+	c.L2Hits += o.L2Hits
+	c.L2ReadSectors += o.L2ReadSectors
+	c.L2WriteSectors += o.L2WriteSectors
+	c.DRAMReadBytes += o.DRAMReadBytes
+	c.DRAMWriteBytes += o.DRAMWriteBytes
+
+	for s := Stall(0); s < NumStalls; s++ {
+		c.StallCycles[s] += o.StallCycles[s]
+	}
+	for pc, arr := range o.PCStalls {
+		dst := c.pcStall(pc)
+		for s := Stall(0); s < NumStalls; s++ {
+			dst[s] += arr[s]
+		}
+	}
+
+	c.ActiveWarpCycles += o.ActiveWarpCycles
+	c.SMBusyCycles += o.SMBusyCycles
+}
+
+// HostStats reports host-side execution statistics of one launch: how
+// long the SM-simulation phase took on the wall clock, the aggregate
+// time the individual SMs consumed (their ratio is the achieved parallel
+// speedup), and the worker cap in effect. Host values vary run to run
+// and are excluded from the determinism guarantee below.
+type HostStats struct {
+	// Workers is the effective concurrency cap (after resolving 0 to
+	// GOMAXPROCS and clamping to the number of sampled SMs with work).
+	Workers int
+	// WallSeconds is the elapsed host time of the SM-simulation phase.
+	WallSeconds float64
+	// SMSeconds sums each SM's individual host simulation time; with
+	// perfect scaling WallSeconds approaches SMSeconds / Workers.
+	SMSeconds float64
+}
+
+// Speedup returns the achieved parallel speedup of the launch
+// (aggregate per-SM host time over wall time; 1 when sequential).
+func (h HostStats) Speedup() float64 {
+	if h.WallSeconds <= 0 {
+		return 1
+	}
+	return h.SMSeconds / h.WallSeconds
+}
+
 // Result is the outcome of one simulated kernel launch.
+//
+// Determinism: for a fixed device state, spec, SampleSMs and MaxCycles,
+// every field except Host is bit-identical for every Config.Workers
+// value — per-SM state is confined, and the per-SM counters are merged
+// in fixed SM-ID order (see DESIGN.md "Parallel per-SM simulation").
 type Result struct {
 	Kernel      string
 	Grid, Block Dim3
@@ -92,6 +177,11 @@ type Result struct {
 	SMFinish        []float64 // per simulated SM, its finish time in cycles
 
 	Counters *Counters
+
+	// Host carries host-side timing of the launch (wall time, aggregate
+	// per-SM time, workers); the one field outside the determinism
+	// guarantee.
+	Host HostStats
 }
 
 // BlockRan reports whether the block with the given linearized index

@@ -235,3 +235,12 @@ func (d *Device) store(addr uint64, width int, vals *[4]uint32) error {
 
 // InUse reports allocated device memory in bytes.
 func (d *Device) InUse() uint64 { return d.next }
+
+// MemorySnapshot copies the allocated portion of the device memory
+// arena. Differential tests use it to compare the functional effects of
+// two launches (e.g. sequential vs parallel simulation) byte for byte.
+func (d *Device) MemorySnapshot() []byte {
+	out := make([]byte, d.next)
+	copy(out, d.mem[:d.next])
+	return out
+}

@@ -253,8 +253,12 @@ func clamp(v, n int) int {
 }
 
 // atomGlobal applies a global atomic to device memory, returning the old
-// 32-bit value.
+// 32-bit value. The read-modify-write holds the address's atomic-unit
+// shard lock so concurrently simulated SMs never lose an update.
 func (e *engine) atomGlobal(addr uint64, in *sass.Inst, v uint32) (uint32, error) {
+	mu := e.atomics.lock(addr)
+	mu.Lock()
+	defer mu.Unlock()
 	var buf [4]uint32
 	if err := e.dev.load(addr, 4, &buf); err != nil {
 		return 0, err

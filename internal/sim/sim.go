@@ -2,8 +2,12 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"time"
 
 	"gpuscout/internal/gpu"
 	"gpuscout/internal/memsys"
@@ -18,6 +22,14 @@ type Config struct {
 	SampleSMs int
 	// MaxCycles aborts runaway kernels. 0 means the default of 2e8.
 	MaxCycles float64
+	// Workers caps how many sampled SMs simulate concurrently. Each SM
+	// owns its timing state, counters, and L2/DRAM bandwidth slice, so
+	// SMs are independent up to device memory; cross-SM global atomics
+	// serialize in an address-sharded atomic unit. 0 uses GOMAXPROCS;
+	// 1 is the sequential reference path. Every worker count produces
+	// the same Result bit for bit (fixed SM-ID merge order; see the
+	// determinism note on Result).
+	Workers int
 }
 
 // LaunchSpec describes one kernel launch.
@@ -31,20 +43,22 @@ type LaunchSpec struct {
 	Params []uint64
 }
 
-// engine holds everything one simulated launch needs.
+// engine holds everything one simulated launch needs. During the SM
+// phase the engine is shared read-only between SM goroutines; all
+// mutable per-SM state (timing, counters, warp IDs) lives in smState,
+// and the only cross-SM writes — global atomics — go through atomics.
 type engine struct {
-	ctx     context.Context
-	dev     *Device
-	arch    gpu.Arch
-	kernel  *sass.Kernel
-	grid    Dim3
-	block   Dim3
-	cfg     Config
-	occ     gpu.Occupancy
-	nextGid int
+	ctx    context.Context
+	dev    *Device
+	arch   gpu.Arch
+	kernel *sass.Kernel
+	grid   Dim3
+	block  Dim3
+	cfg    Config
+	occ    gpu.Occupancy
 
 	constMem []byte
-	counters *Counters
+	atomics  atomicUnit
 
 	reconvPC  []uint64
 	hasReconv []bool
@@ -109,7 +123,6 @@ func LaunchContext(ctx context.Context, dev *Device, spec LaunchSpec, cfg Config
 		block:     spec.Block,
 		cfg:       cfg,
 		occ:       occ,
-		counters:  newCounters(),
 		localBase: memBase + uint64(dev.Arch.DRAMBytes) + (1 << 40),
 	}
 
@@ -144,26 +157,98 @@ func LaunchContext(ctx context.Context, dev *Device, spec LaunchSpec, cfg Config
 		simSMs = totalBlocks
 	}
 
-	var maxFinish float64
-	var smFinish []float64
+	// Plan the per-SM work up front. Global warp IDs feed scheduling
+	// order and local-memory addressing, so each SM gets a precomputed
+	// base equal to the warps launched by the SMs before it — the exact
+	// IDs a sequential pass over the SMs would assign.
+	warpsPerBlock := (spec.Block.Count() + 31) / 32
+	type smPlan struct {
+		id      int
+		blocks  []Dim3
+		gidBase int
+	}
+	var plans []smPlan
 	simulatedBlocks := 0
 	for smID := 0; smID < simSMs; smID++ {
 		blocks := blocksForSM(spec.Grid, smID, e.arch.NumSMs)
 		if len(blocks) == 0 {
 			continue
 		}
+		plans = append(plans, smPlan{id: smID, blocks: blocks, gidBase: simulatedBlocks * warpsPerBlock})
 		simulatedBlocks += len(blocks)
-		finish, err := e.runSM(smID, blocks)
-		if err != nil {
-			return nil, err
-		}
-		smFinish = append(smFinish, finish)
-		if finish > maxFinish {
-			maxFinish = finish
-		}
 	}
 	if simulatedBlocks == 0 {
 		return nil, fmt.Errorf("sim: no blocks simulated")
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(plans) {
+		workers = len(plans)
+	}
+
+	sms := make([]*smState, len(plans))
+	smSeconds := make([]float64, len(plans))
+	wallStart := time.Now()
+	if workers <= 1 {
+		// Sequential reference path: same per-SM states, same merge.
+		for i, p := range plans {
+			sm := e.newSM(p.id, p.gidBase)
+			t0 := time.Now()
+			if err := e.runSM(ctx, sm, p.blocks); err != nil {
+				return nil, err
+			}
+			smSeconds[i] = time.Since(t0).Seconds()
+			sms[i] = sm
+		}
+	} else {
+		// One goroutine per sampled SM, at most `workers` running. A
+		// failing SM cancels its siblings through runCtx so the launch
+		// aborts promptly instead of simulating doomed SMs to the end.
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		errs := make([]error, len(plans))
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i := range plans {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				p := plans[i]
+				sm := e.newSM(p.id, p.gidBase)
+				t0 := time.Now()
+				if err := e.runSM(runCtx, sm, p.blocks); err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+				smSeconds[i] = time.Since(t0).Seconds()
+				sms[i] = sm
+			}(i)
+		}
+		wg.Wait()
+		if err := firstSMError(ctx, errs); err != nil {
+			return nil, err
+		}
+	}
+
+	// Deterministic reduction: merge per-SM counters in fixed SM-ID
+	// order, so float accumulation order — and hence every derived
+	// metric — is identical for any worker count.
+	merged := newCounters()
+	var maxFinish, smSecondsTotal float64
+	smFinish := make([]float64, len(sms))
+	for i, sm := range sms {
+		merged.merge(sm.counters)
+		smFinish[i] = sm.now
+		if sm.now > maxFinish {
+			maxFinish = sm.now
+		}
+		smSecondsTotal += smSeconds[i]
 	}
 
 	scale := float64(totalBlocks) / float64(simulatedBlocks)
@@ -180,13 +265,38 @@ func LaunchContext(ctx context.Context, dev *Device, spec LaunchSpec, cfg Config
 		NumSMs:          e.arch.NumSMs,
 		SimulatedSMs:    simSMs,
 		SMFinish:        smFinish,
-		Counters:        e.counters,
+		Counters:        merged,
+		Host: HostStats{
+			Workers:     workers,
+			WallSeconds: time.Since(wallStart).Seconds(),
+			SMSeconds:   smSecondsTotal,
+		},
 	}
-	if e.counters.SMBusyCycles > 0 {
-		res.AchievedOccupancy = e.counters.ActiveWarpCycles /
-			(e.counters.SMBusyCycles * float64(e.arch.MaxWarpsPerSM))
+	if merged.SMBusyCycles > 0 {
+		res.AchievedOccupancy = merged.ActiveWarpCycles /
+			(merged.SMBusyCycles * float64(e.arch.MaxWarpsPerSM))
 	}
 	return res, nil
+}
+
+// firstSMError picks the error a parallel launch reports: the
+// lowest-SM-ID failure that is not collateral damage from our own
+// sibling cancellation, falling back to the first error of any kind
+// (every error is a cancellation when the caller's ctx itself ended).
+func firstSMError(ctx context.Context, errs []error) error {
+	var collateral error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if collateral == nil {
+			collateral = err
+		}
+		if ctx.Err() != nil || !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	return collateral
 }
 
 func putU64(b []byte, v uint64) {
@@ -221,8 +331,9 @@ func (e *engine) ipdomPC(idx int) (uint64, bool) {
 	return e.reconvPC[idx], e.hasReconv[idx]
 }
 
-// newSM builds the per-SM timing state with this SM's bandwidth slices.
-func (e *engine) newSM(id int) *smState {
+// newSM builds the per-SM timing state with this SM's bandwidth slices,
+// its own counters, and its deterministic global-warp-ID base.
+func (e *engine) newSM(id, gidBase int) *smState {
 	a := &e.arch
 	l2SliceBytes := a.L2Bytes / a.NumSMs
 	// Keep cache geometry valid: at least one set of full associativity.
@@ -233,7 +344,9 @@ func (e *engine) newSM(id int) *smState {
 		l2SliceBytes = l2SliceBytes / minBytes * minBytes
 	}
 	return &smState{
-		id: id,
+		id:       id,
+		nextGid:  gidBase,
+		counters: newCounters(),
 		l1: memsys.NewCache(memsys.CacheConfig{
 			Name: "l1tex", TotalBytes: a.L1Bytes, LineBytes: a.L1LineBytes,
 			SectorBytes: a.L1SectorBytes, Ways: a.L1Ways,
@@ -251,10 +364,12 @@ func (e *engine) newSM(id int) *smState {
 	}
 }
 
-// runSM simulates all blocks assigned to one SM and returns its finish
-// time in cycles.
-func (e *engine) runSM(smID int, blockIdxs []Dim3) (float64, error) {
-	sm := e.newSM(smID)
+// runSM simulates all blocks assigned to one SM; sm.now holds its
+// finish time in cycles and sm.counters its event counts. It touches no
+// engine state besides read-only launch data, device memory (disjoint
+// functional writes; atomics via the shared atomic unit), and ctx, so
+// SMs may run concurrently.
+func (e *engine) runSM(ctx context.Context, sm *smState, blockIdxs []Dim3) error {
 	resident := e.occ.BlocksPerSM
 	if resident > len(blockIdxs) {
 		resident = len(blockIdxs)
@@ -275,9 +390,9 @@ func (e *engine) runSM(smID int, blockIdxs []Dim3) (float64, error) {
 		// interrupts a long simulation.
 		if iter&1023 == 0 {
 			select {
-			case <-e.ctx.Done():
-				return 0, fmt.Errorf("sim: kernel %s aborted at cycle %.0f on SM %d: %w",
-					e.kernel.Name, sm.now, smID, e.ctx.Err())
+			case <-ctx.Done():
+				return fmt.Errorf("sim: kernel %s aborted at cycle %.0f on SM %d: %w",
+					e.kernel.Name, sm.now, sm.id, ctx.Err())
 			default:
 			}
 		}
@@ -335,9 +450,9 @@ func (e *engine) runSM(smID int, blockIdxs []Dim3) (float64, error) {
 			sm.lastPick[sched] = pick
 			pc := pick.cls.pc
 			if err := e.issue(sm, pick); err != nil {
-				return 0, err
+				return err
 			}
-			e.counters.addStall(pc, StallSelected, 1)
+			sm.counters.addStall(pc, StallSelected, 1)
 			pick.cls.eligible = false
 			pick.cls.reason = StallSelected
 			pick.clsValid = false
@@ -357,8 +472,8 @@ func (e *engine) runSM(smID int, blockIdxs []Dim3) (float64, error) {
 				}
 			}
 			if math.IsInf(next, 1) {
-				return 0, fmt.Errorf("sim: deadlock on SM %d at cycle %.0f (kernel %s): all %d warps blocked",
-					smID, sm.now, e.kernel.Name, liveWarps)
+				return fmt.Errorf("sim: deadlock on SM %d at cycle %.0f (kernel %s): all %d warps blocked",
+					sm.id, sm.now, e.kernel.Name, liveWarps)
 			}
 			if next <= sm.now {
 				next = sm.now + 1
@@ -377,14 +492,14 @@ func (e *engine) runSM(smID int, blockIdxs []Dim3) (float64, error) {
 			if w.cls.eligible {
 				reason = StallNotSelected
 			}
-			e.counters.addStall(w.cls.pc, reason, dt)
+			sm.counters.addStall(w.cls.pc, reason, dt)
 		}
-		e.counters.ActiveWarpCycles += float64(liveWarps) * dt
+		sm.counters.ActiveWarpCycles += float64(liveWarps) * dt
 		sm.now += dt
 		if sm.now > e.cfg.MaxCycles {
-			return 0, fmt.Errorf("sim: kernel %s exceeded %g cycles on SM %d", e.kernel.Name, e.cfg.MaxCycles, smID)
+			return fmt.Errorf("sim: kernel %s exceeded %g cycles on SM %d", e.kernel.Name, e.cfg.MaxCycles, sm.id)
 		}
 	}
-	e.counters.SMBusyCycles += sm.now
-	return sm.now, nil
+	sm.counters.SMBusyCycles = sm.now
+	return nil
 }

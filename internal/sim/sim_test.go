@@ -77,7 +77,7 @@ func TestVecAdd(t *testing.T) {
 		Grid:   D1((n + 127) / 128),
 		Block:  D1(128),
 		Params: []uint64{a.Addr, bb.Addr, c.Addr, n},
-	}, Config{SampleSMs: 80})
+	}, Config{SampleSMs: dev.Arch.NumSMs}) // sample every SM so all blocks run
 	if err != nil {
 		t.Fatalf("Launch: %v", err)
 	}
@@ -457,7 +457,7 @@ func TestTexture(t *testing.T) {
 	res, err := Launch(dev, LaunchSpec{
 		Kernel: k, Grid: D1(H), Block: D1(W),
 		Params: []uint64{outBuf.Addr},
-	}, Config{SampleSMs: 80})
+	}, Config{SampleSMs: dev.Arch.NumSMs}) // sample every SM so all blocks run
 	if err != nil {
 		t.Fatalf("Launch: %v", err)
 	}

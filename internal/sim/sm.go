@@ -65,9 +65,19 @@ func sortFloats(a []float64) {
 }
 
 // smState is the timing state of one simulated streaming multiprocessor.
+// Everything an SM mutates during simulation lives here (or in its warps
+// and blocks), so sampled SMs can run on separate goroutines and merge
+// deterministically afterwards.
 type smState struct {
 	id  int
 	now float64
+
+	// counters accumulates this SM's events; LaunchContext merges the
+	// per-SM instances in SM-ID order.
+	counters *Counters
+	// nextGid is the next global warp index, seeded per SM so parallel
+	// runs assign the same IDs a sequential pass would.
+	nextGid int
 
 	l1   *memsys.Cache     // unified L1TEX data cache (global/local/texture)
 	l2   *memsys.Cache     // this SM's slice of the chip L2
@@ -189,7 +199,7 @@ func (e *engine) issue(sm *smState, w *warp) error {
 		return err
 	}
 
-	c := e.counters
+	c := sm.counters
 	c.WarpInsts++
 	c.ThreadInsts += uint64(popcount32(execMask))
 	c.OpcodeDyn[in.Op]++
@@ -253,7 +263,7 @@ func (e *engine) setDstReady(sm *smState, w *warp, in *sass.Inst, latency float6
 // schedules the destination registers' availability.
 func (e *engine) memTiming(sm *smState, w *warp, in *sass.Inst, ma memAccess) {
 	a := &e.arch
-	c := e.counters
+	c := sm.counters
 	now := sm.now
 	var active [32]bool
 	for lane := 0; lane < 32; lane++ {
@@ -423,7 +433,7 @@ func (e *engine) memTiming(sm *smState, w *warp, in *sass.Inst, ma memAccess) {
 // on miss, to DRAM. It returns the added latency beyond L1.
 func (e *engine) l2Access(sm *smState, sector uint64, write bool) float64 {
 	a := &e.arch
-	c := e.counters
+	c := sm.counters
 	q := sm.l2bw.QueueDelay(sm.now)
 	sm.l2bw.Request(sm.now, a.L1SectorBytes)
 	hit := sm.l2.AccessSector(sector, write)
@@ -491,8 +501,8 @@ func (e *engine) launchBlock(sm *smState, idx Dim3) {
 	warps := (threads + 31) / 32
 	nb.liveWarps = warps
 	for i := 0; i < warps; i++ {
-		w := newWarp(i, e.nextGid, nb, e.kernel.NumRegs, e.kernel.LocalBytes)
-		e.nextGid++
+		w := newWarp(i, sm.nextGid, nb, e.kernel.NumRegs, e.kernel.LocalBytes)
+		sm.nextGid++
 		w.readyAt = sm.now
 		w.waitReason = StallWait
 		nb.warps = append(nb.warps, w)

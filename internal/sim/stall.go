@@ -7,6 +7,12 @@
 // surfaces GPUscout consumes: per-PC warp-stall distributions (the CUPTI
 // PC Sampling substitute) and kernel-wide hardware counters (the ncu
 // metric substitute).
+//
+// Sampled SMs simulate independently — each owns its timing state,
+// counters, and bandwidth slices — and may run concurrently
+// (Config.Workers); cross-SM global atomics serialize in an
+// address-sharded atomic unit, and per-SM results merge in fixed SM-ID
+// order so the Result is bit-identical for every worker count.
 package sim
 
 // Stall classifies why a warp could not issue (or that it did). The set

@@ -1,0 +1,73 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"gpuscout/internal/gpu"
+	"gpuscout/internal/sim"
+)
+
+// differentialScale picks a small problem size per workload so the full
+// sweep stays fast while still spanning several SMs.
+func differentialScale(name string) int {
+	switch name {
+	case "mixbench_sp_naive", "mixbench_sp_vec4", "mixbench_dp_naive",
+		"mixbench_dp_vec4", "mixbench_int_naive", "mixbench_int_vec4":
+		return 4
+	case "jacobi_naive", "jacobi_texture", "jacobi_restrict", "jacobi_shared":
+		return 128
+	case "sgemm_naive", "sgemm_shared", "sgemm_shared_vec":
+		return 64
+	case "transpose_naive", "transpose_shared", "transpose_padded":
+		return 64
+	case "spill_pressure", "histogram_global", "histogram_shared":
+		return 4
+	}
+	return 0
+}
+
+// TestParallelDifferential is the acceptance proof for parallel
+// simulation: every registered workload, run with Workers=1 and
+// Workers=4 on fresh devices, must produce a bit-identical Result
+// (HostStats excepted — wall time is genuinely nondeterministic) and
+// byte-identical device memory. Any divergence means per-SM state
+// leaked, the merge order drifted, or an atomic lost an update.
+func TestParallelDifferential(t *testing.T) {
+	cfg := sim.Config{SampleSMs: 4}
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			run := func(workers int) (*sim.Result, []byte) {
+				w, err := Build(name, differentialScale(name))
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				dev := sim.NewDevice(gpu.V100())
+				c := cfg
+				c.Workers = workers
+				res, err := Execute(w, dev, c)
+				if err != nil {
+					t.Fatalf("Execute(Workers=%d): %v", workers, err)
+				}
+				return res, dev.MemorySnapshot()
+			}
+			seqRes, seqMem := run(1)
+			parRes, parMem := run(4)
+			if seqRes.Host.Workers != 1 || parRes.Host.Workers < 1 {
+				t.Errorf("Host.Workers = %d/%d, want 1 and >=1",
+					seqRes.Host.Workers, parRes.Host.Workers)
+			}
+			seqRes.Host, parRes.Host = sim.HostStats{}, sim.HostStats{}
+			if !reflect.DeepEqual(seqRes, parRes) {
+				t.Errorf("Result differs between Workers=1 and Workers=4:\nseq: %+v\npar: %+v", seqRes, parRes)
+			}
+			if !reflect.DeepEqual(seqMem, parMem) {
+				i := 0
+				for i < len(seqMem) && i < len(parMem) && seqMem[i] == parMem[i] {
+					i++
+				}
+				t.Errorf("device memory differs between Workers=1 and Workers=4 (first divergence at byte %d of %d)", i, len(seqMem))
+			}
+		})
+	}
+}
