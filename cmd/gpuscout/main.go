@@ -27,6 +27,7 @@ func main() {
 		kernelN  = flag.String("kernel", "", "kernel name within the cubin (default: first)")
 		sassF    = flag.String("sass", "", "SASS text file to analyze (static analysis)")
 		dryRun   = flag.Bool("dry-run", false, "static SASS analysis only, no GPU involvement")
+		verify   = flag.Bool("verify", false, "re-execute each recommendation's paired optimized variant and attach measured verdicts (workload analyses only)")
 		archName = flag.String("arch", "sm_70", "GPU architecture (sm_70/V100, sm_60/P100)")
 		sample   = flag.Int("sample-sms", 2, "SMs to simulate (sampling)")
 		period   = flag.Float64("sampling-period", 0, "CUPTI sampling period in cycles (0 = default)")
@@ -61,7 +62,21 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		var verified *gpuscout.VerifySummary
+		if *verify {
+			if *dryRun {
+				fatal(fmt.Errorf("-verify needs the dynamic pillars; drop -dry-run"))
+			}
+			verified, err = gpuscout.VerifyWorkloadReport(rep, *workload, *scale, arch, opts)
+			if err != nil {
+				fatal(err)
+			}
+		}
 		fmt.Println(rep.Render())
+		if verified != nil {
+			fmt.Printf("verification: %d recommendation(s) re-executed — %d confirmed, %d neutral, %d refuted\n",
+				verified.Checked, verified.Confirmed, verified.Neutral, verified.Refuted)
+		}
 		if *srcView {
 			fmt.Println(rep.SourceView())
 		}

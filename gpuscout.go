@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 
+	"gpuscout/internal/advisor"
 	"gpuscout/internal/codegen"
 	"gpuscout/internal/cubin"
 	"gpuscout/internal/gpu"
@@ -240,6 +241,46 @@ func RunWorkload(w *Workload, arch Arch, cfg SimConfig) (*SimResult, error) {
 // the full GPUscout pipeline on it.
 func AnalyzeWorkload(name string, scale int, arch Arch, opts Options) (*Report, error) {
 	return AnalyzeWorkloadContext(context.Background(), name, scale, arch, opts)
+}
+
+// --- Counterfactual verification (the advisor) ---
+
+// Verification is the measured evidence attached to a finding when its
+// recommendation was re-executed: speedup, verdict, stall/metric deltas.
+type Verification = scout.Verification
+
+// Verdict grades a verified recommendation: confirmed, neutral, refuted.
+type Verdict = scout.Verdict
+
+// Verdict values.
+const (
+	VerdictConfirmed = scout.VerdictConfirmed
+	VerdictNeutral   = scout.VerdictNeutral
+	VerdictRefuted   = scout.VerdictRefuted
+)
+
+// RecommendationPair maps a detector recommendation on a baseline
+// workload to the optimized variant implementing it.
+type RecommendationPair = advisor.Pair
+
+// RecommendationPairs lists the advisor's recommendation->variant table.
+func RecommendationPairs() []RecommendationPair { return advisor.Pairs() }
+
+// VerifySummary counts the verdicts of one verification pass.
+type VerifySummary = advisor.Summary
+
+// VerifyWorkloadReport re-executes the paired optimized variant for every
+// finding in a workload report, under the same simulator configuration,
+// and attaches measured Verification blocks. The report must come from a
+// non-dry-run analysis of the named workload at the given scale.
+func VerifyWorkloadReport(rep *Report, name string, scale int, arch Arch, opts Options) (*VerifySummary, error) {
+	return advisor.Verify(context.Background(), rep, name, scale, arch, opts.Sim)
+}
+
+// VerifyWorkloadReportContext is VerifyWorkloadReport with cancellation:
+// each variant launch polls ctx, so per-job timeouts cover the re-runs.
+func VerifyWorkloadReportContext(ctx context.Context, rep *Report, name string, scale int, arch Arch, opts Options) (*VerifySummary, error) {
+	return advisor.Verify(ctx, rep, name, scale, arch, opts.Sim)
 }
 
 // --- The gpuscoutd analysis service ---

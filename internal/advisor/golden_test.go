@@ -1,0 +1,126 @@
+package advisor
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpuscout/internal/gpu"
+	"gpuscout/internal/sim"
+	"gpuscout/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report files")
+
+// goldenScales pins each workload family to a small problem size so the
+// suite runs in seconds; the scale is part of the golden contract.
+var goldenScales = map[string]int{
+	"histogram": 4,
+	"jacobi":    128,
+	"mixbench":  8,
+	"reduction": 0, // fixed size
+	"sgemm":     64,
+	"spill":     8,
+	"transpose": 64,
+}
+
+func goldenScale(t *testing.T, name string) int {
+	family := name
+	if i := strings.IndexByte(name, '_'); i >= 0 {
+		family = name[:i]
+	}
+	scale, ok := goldenScales[family]
+	if !ok {
+		t.Fatalf("no golden scale for workload family %q (add it to goldenScales)", family)
+	}
+	return scale
+}
+
+// goldenReport produces the verified report for one workload at the given
+// simulator parallelism, in both text and JSON forms. The SASS-analysis
+// overhead is wall-clock time and is zeroed: everything else in a report
+// is deterministic.
+func goldenReport(t *testing.T, name string, workers int) (string, []byte) {
+	t.Helper()
+	scale := goldenScale(t, name)
+	cfg := sim.Config{SampleSMs: 1, Workers: workers}
+	rep := analyze(t, name, scale, cfg)
+	if _, err := Verify(context.Background(), rep, name, scale, gpu.V100(), cfg); err != nil {
+		t.Fatalf("verify %s: %v", name, err)
+	}
+	rep.OverheadSASSCycles = 0
+	text := rep.Render()
+	js, err := rep.MarshalJSON()
+	if err != nil {
+		t.Fatalf("marshal %s: %v", name, err)
+	}
+	return text, append(js, '\n')
+}
+
+// TestGoldenReports locks down the full verified report — text and JSON —
+// for every registered workload, and proves the simulator's determinism
+// guarantee at the report level: Workers=1 and Workers=4 must render
+// byte-identically. Regenerate with: go test ./internal/advisor -run
+// TestGoldenReports -update
+func TestGoldenReports(t *testing.T) {
+	for _, name := range workloads.Names() {
+		t.Run(name, func(t *testing.T) {
+			text, js := goldenReport(t, name, 1)
+			textPar, jsPar := goldenReport(t, name, 4)
+			if text != textPar {
+				t.Errorf("text report differs between Workers=1 and Workers=4:\n%s",
+					firstDiff(text, textPar))
+			}
+			if !bytes.Equal(js, jsPar) {
+				t.Errorf("JSON report differs between Workers=1 and Workers=4:\n%s",
+					firstDiff(string(js), string(jsPar)))
+			}
+
+			txtPath := filepath.Join("testdata", "golden", name+".txt")
+			jsonPath := filepath.Join("testdata", "golden", name+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(txtPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(txtPath, []byte(text), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(jsonPath, js, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			compareGolden(t, txtPath, []byte(text))
+			compareGolden(t, jsonPath, js)
+		})
+	}
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden (run with -update to accept):\n%s",
+			path, firstDiff(string(got), string(want)))
+	}
+}
+
+// firstDiff points at the first line where two renderings diverge.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  got:  %s\n  want: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("one rendering is a prefix of the other (got %d lines, want %d)",
+		len(al), len(bl))
+}

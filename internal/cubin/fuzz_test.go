@@ -1,0 +1,55 @@
+package cubin_test
+
+import (
+	"bytes"
+	"testing"
+
+	"gpuscout/internal/cubin"
+	"gpuscout/internal/workloads"
+)
+
+// FuzzCubinDecode feeds arbitrary bytes to the cubin decoder, seeded with
+// a valid single-kernel container per registered workload. Decode handles
+// untrusted gpuscoutd uploads, so it must never panic and never allocate
+// proportionally to a claimed-but-absent size; anything it accepts must
+// re-encode, and the re-encoding must be a decode/encode fixed point.
+func FuzzCubinDecode(f *testing.F) {
+	for _, name := range workloads.Names() {
+		w, err := workloads.Build(name, 0)
+		if err != nil {
+			f.Fatalf("build %s: %v", name, err)
+		}
+		b := cubin.New(w.Kernel.Arch)
+		if err := b.Add(w.Kernel); err != nil {
+			f.Fatalf("add %s: %v", name, err)
+		}
+		data, err := cubin.Encode(b)
+		if err != nil {
+			f.Fatalf("encode %s: %v", name, err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("CUBN"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := cubin.Decode(data)
+		if err != nil {
+			return
+		}
+		first, err := cubin.Encode(b)
+		if err != nil {
+			t.Fatalf("decoded binary does not re-encode: %v", err)
+		}
+		b2, err := cubin.Decode(first)
+		if err != nil {
+			t.Fatalf("re-encoded binary does not decode: %v", err)
+		}
+		second, err := cubin.Encode(b2)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatal("encode not a fixed point after decode round trip")
+		}
+	})
+}

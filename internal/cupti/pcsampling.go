@@ -42,6 +42,7 @@ type Report struct {
 
 	byPC   map[uint64]*[sim.NumStalls]float64
 	byLine map[int]*[sim.NumStalls]float64
+	kernel [sim.NumStalls]float64 // whole-kernel aggregate
 }
 
 // Collect synthesizes the PC-sampling report for a finished launch.
@@ -59,7 +60,16 @@ func Collect(k *sass.Kernel, res *sim.Result, cfg Config) (*Report, error) {
 		byPC:         map[uint64]*[sim.NumStalls]float64{},
 		byLine:       map[int]*[sim.NumStalls]float64{},
 	}
-	for pc, integ := range res.Counters.PCStalls {
+	// Iterate PCs in address order: the sums below are floating-point
+	// accumulations, and Go's randomized map order would make the low bits
+	// of TotalSamples and the per-line aggregates vary run to run.
+	pcs := make([]uint64, 0, len(res.Counters.PCStalls))
+	for pc := range res.Counters.PCStalls {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	for _, pc := range pcs {
+		integ := res.Counters.PCStalls[pc]
 		in := k.InstAt(pc)
 		line, file := 0, k.SourceFile
 		if in != nil {
@@ -89,6 +99,7 @@ func Collect(k *sass.Kernel, res *sim.Result, cfg Config) (*Report, error) {
 				r.byLine[line] = lnAgg
 			}
 			lnAgg[s] += n
+			r.kernel[s] += n
 		}
 	}
 	sort.Slice(r.Samples, func(i, j int) bool {
@@ -130,15 +141,11 @@ func (r *Report) StallShareAtLine(line int, s sim.Stall) float64 {
 	return share(a, s)
 }
 
-// KernelStallShare returns reason s's share across the whole kernel.
+// KernelStallShare returns reason s's share across the whole kernel. The
+// aggregate is accumulated in PC order at collection time, so the share
+// is bit-identical across runs and worker counts.
 func (r *Report) KernelStallShare(s sim.Stall) float64 {
-	var a [sim.NumStalls]float64
-	for _, agg := range r.byPC {
-		for i := sim.Stall(0); i < sim.NumStalls; i++ {
-			a[i] += agg[i]
-		}
-	}
-	return share(a, s)
+	return share(r.kernel, s)
 }
 
 // TopStallsAtPC returns the stall reasons at pc ordered by sample count,

@@ -1,0 +1,38 @@
+package ptx_test
+
+import (
+	"testing"
+
+	"gpuscout/internal/ptx"
+	"gpuscout/internal/workloads"
+)
+
+// FuzzParsePTX feeds arbitrary text to the PTX-view parser, seeded with
+// the printed PTX lift of every registered workload. The parser must
+// never panic, and anything it accepts must survive a print -> parse ->
+// print round trip byte-identically.
+func FuzzParsePTX(f *testing.F) {
+	for _, name := range workloads.Names() {
+		w, err := workloads.Build(name, 0)
+		if err != nil {
+			f.Fatalf("build %s: %v", name, err)
+		}
+		f.Add(ptx.Lift(w.Kernel).Print())
+	}
+	f.Add("")
+	f.Add(".visible .entry k()\n{\n}\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		m, err := ptx.Parse(text)
+		if err != nil {
+			return
+		}
+		printed := m.Print()
+		m2, err := ptx.Parse(printed)
+		if err != nil {
+			t.Fatalf("printed module does not re-parse: %v\n%s", err, printed)
+		}
+		if again := m2.Print(); again != printed {
+			t.Fatalf("print not a fixed point:\n--- first\n%s\n--- second\n%s", printed, again)
+		}
+	})
+}

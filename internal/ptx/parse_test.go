@@ -1,0 +1,123 @@
+package ptx
+
+import (
+	"strings"
+	"testing"
+
+	"gpuscout/internal/workloads"
+)
+
+// TestParseRoundTrip lifts every registered workload, prints the module,
+// and parses it back: the reparse must reproduce the instruction stream
+// and print byte-identically.
+func TestParseRoundTrip(t *testing.T) {
+	for _, name := range workloads.Names() {
+		w, err := workloads.Build(name, 0)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		m := Lift(w.Kernel)
+		text := m.Print()
+		got, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: Parse(Print()): %v", name, err)
+		}
+		if got.Kernel != m.Kernel {
+			t.Errorf("%s: kernel = %q, want %q", name, got.Kernel, m.Kernel)
+		}
+		if len(got.Insts) != len(m.Insts) {
+			t.Fatalf("%s: %d insts, want %d", name, len(got.Insts), len(m.Insts))
+		}
+		for i := range m.Insts {
+			want, have := m.Insts[i], got.Insts[i]
+			if have.Text != want.Text || have.Opcode != want.Opcode ||
+				have.Space != want.Space || have.Line != want.Line {
+				t.Errorf("%s inst %d: %+v, want %+v", name, i, have, want)
+			}
+		}
+		if again := got.Print(); again != text {
+			t.Errorf("%s: print not a fixed point:\n--- lifted\n%s--- reparsed\n%s", name, text, again)
+		}
+	}
+}
+
+// TestParseAtomics checks the §4.4 query works on a parsed module: the
+// state spaces survive the text round trip.
+func TestParseAtomics(t *testing.T) {
+	w, err := workloads.Build("histogram_shared", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifted := Lift(w.Kernel)
+	parsed, err := Parse(lifted.Print())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := lifted.Atomics(), parsed.Atomics()
+	if len(got.SharedAtomics) != len(want.SharedAtomics) || len(got.GlobalAtomics) != len(want.GlobalAtomics) {
+		t.Errorf("atomics after round trip: %d shared / %d global, want %d / %d",
+			len(got.SharedAtomics), len(got.GlobalAtomics),
+			len(want.SharedAtomics), len(want.GlobalAtomics))
+	}
+	if len(got.SharedAtomics) == 0 {
+		t.Error("histogram_shared round trip lost its shared atomics")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"empty", ""},
+		{"comment only", "// PTX view of k\n"},
+		{"no entry", "ld.global.f32;\n"},
+		{"unnamed entry", ".visible .entry ()\n{\n}\n"},
+		{"missing brace", ".visible .entry k()\n\tld.global.f32;\n}\n"},
+		{"unterminated inst", ".visible .entry k()\n{\n\tld.global.f32\n}\n"},
+		{"bad loc", ".visible .entry k()\n{\n\t.loc one 2 3\n}\n"},
+		{"unclosed body", ".visible .entry k()\n{\n\tld.global.f32;\n"},
+		{"trailing content", ".visible .entry k()\n{\n}\nextra\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.text); err == nil {
+			t.Errorf("%s: Parse accepted %q", tc.name, tc.text)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	for _, tc := range []struct {
+		text, opcode, space string
+	}{
+		{"ld.global.f32", "ld", "global"},
+		{"ld.global.nc.f32", "ld", ""},
+		{"st.shared.v4.f32", "st", "shared"},
+		{"ld.local.f64", "ld", "local"},
+		{"ld.const.s32", "ld", "const"},
+		{"tex.2d.v4.f32.s32", "tex", "tex"},
+		{"atom.shared.add.u32", "atom", "shared"},
+		{"red.global.add.f32", "red", "global"},
+		{"cvt.f32.s32", "cvt", ""},
+		{"bar.sync 0", "bar", ""},
+		{"fma.rn.f32", "fma", ""},
+	} {
+		op, sp := classify(tc.text)
+		if op != tc.opcode || sp != tc.space {
+			t.Errorf("classify(%q) = %q/%q, want %q/%q", tc.text, op, sp, tc.opcode, tc.space)
+		}
+	}
+}
+
+// TestParseTolerance: the parser normalizes incidental whitespace and
+// comments without inventing instructions.
+func TestParseTolerance(t *testing.T) {
+	text := "// header\r\n\r\n.visible .entry k()\r\n{\r\n\t.loc 1 5 0\r\n\t  ld.global.f32 ;\r\n}\r\n"
+	m, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(m.Insts) != 1 || m.Insts[0].Text != "ld.global.f32" || m.Insts[0].Line != 5 {
+		t.Errorf("parsed %+v", m.Insts)
+	}
+	if !strings.Contains(m.Print(), ".loc 1 5 0") {
+		t.Error("line attribution lost")
+	}
+}

@@ -149,6 +149,31 @@ func (du *DefUse) ArithUseCount(r Reg) int {
 	return n
 }
 
+// ArithUseCountAt returns how many arithmetic instructions read the value
+// register r holds after its definition at defIdx: uses between defIdx
+// and r's next redefinition. The whole-register ArithUseCount overcounts
+// when the allocator later recycles r for an unrelated value.
+func (du *DefUse) ArithUseCountAt(r Reg, defIdx int) int {
+	if r == RZ {
+		return 0
+	}
+	k := du.Kernel
+	next := len(k.Insts)
+	for _, d := range du.Defs[r] {
+		if d > defIdx {
+			next = d
+			break
+		}
+	}
+	n := 0
+	for _, u := range du.Uses[r] {
+		if u > defIdx && u <= next && IsArith(k.Insts[u].Op) {
+			n++
+		}
+	}
+	return n
+}
+
 // UseCount returns the total number of reads of register r.
 func (du *DefUse) UseCount(r Reg) int {
 	if r == RZ {

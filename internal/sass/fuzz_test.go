@@ -1,0 +1,39 @@
+package sass_test
+
+import (
+	"testing"
+
+	"gpuscout/internal/sass"
+	"gpuscout/internal/workloads"
+)
+
+// FuzzParseSASS feeds arbitrary text to the SASS parser, seeded with the
+// canonical printed SASS of every registered workload. The parser must
+// never panic, and anything it accepts must survive a print -> parse ->
+// print round trip byte-identically (the printed form is the canonical
+// fixed point; the first parse is allowed to normalize its input).
+func FuzzParseSASS(f *testing.F) {
+	for _, name := range workloads.Names() {
+		w, err := workloads.Build(name, 0)
+		if err != nil {
+			f.Fatalf("build %s: %v", name, err)
+		}
+		f.Add(sass.Print(w.Kernel))
+	}
+	f.Add("")
+	f.Add("garbage\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		k, err := sass.Parse(text)
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		printed := sass.Print(k)
+		k2, err := sass.Parse(printed)
+		if err != nil {
+			t.Fatalf("printed kernel does not re-parse: %v\n%s", err, printed)
+		}
+		if again := sass.Print(k2); again != printed {
+			t.Fatalf("print not a fixed point:\n--- first\n%s\n--- second\n%s", printed, again)
+		}
+	})
+}

@@ -121,7 +121,8 @@ func parseLineMarker(s string) (file string, line int, err error) {
 	// //## File "sgemm.cu", line 12
 	rest := strings.TrimPrefix(s, "//## File ")
 	end := strings.LastIndex(rest, `", line `)
-	if !strings.HasPrefix(rest, `"`) || end < 0 {
+	// end must fall after the opening quote, not overlap it (`", line 0`).
+	if !strings.HasPrefix(rest, `"`) || end < 1 {
 		return "", 0, fmt.Errorf("malformed line marker %q", s)
 	}
 	file = rest[1:end]
@@ -139,10 +140,13 @@ func parseInst(s string) (Inst, error) {
 	if !strings.HasPrefix(s, "/*") {
 		return in, fmt.Errorf("missing PC comment in %q", s)
 	}
-	close := strings.Index(s, "*/")
+	// Search after the opening "/*": in a degenerate "/*/" the closing
+	// marker would otherwise match overlapping the opener.
+	close := strings.Index(s[2:], "*/")
 	if close < 0 {
 		return in, fmt.Errorf("unterminated PC comment in %q", s)
 	}
+	close += 2
 	pc, err := strconv.ParseUint(strings.TrimSpace(s[2:close]), 16, 64)
 	if err != nil {
 		return in, fmt.Errorf("bad PC in %q: %v", s, err)

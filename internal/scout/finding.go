@@ -84,6 +84,12 @@ type Finding struct {
 	StallSummary []string
 	// MetricSummary lines present the metric analysis.
 	MetricSummary []string
+
+	// Verification is the measured counterfactual evidence for the
+	// recommendation, attached by the advisor when the analysis ran with
+	// verification enabled and an optimized variant is paired with this
+	// finding (nil otherwise).
+	Verification *Verification
 }
 
 // PrimaryLine returns the first site's source line (0 when none).

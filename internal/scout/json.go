@@ -27,15 +27,43 @@ type JSONReport struct {
 
 // JSONFinding mirrors Finding.
 type JSONFinding struct {
-	Analysis       string     `json:"analysis"`
-	Severity       string     `json:"severity"`
-	Title          string     `json:"title"`
-	Problem        string     `json:"problem"`
-	Recommendation string     `json:"recommendation"`
-	InLoop         bool       `json:"in_loop"`
-	Sites          []JSONSite `json:"sites"`
-	StallSummary   []string   `json:"stall_summary,omitempty"`
-	MetricSummary  []string   `json:"metric_summary,omitempty"`
+	Analysis       string            `json:"analysis"`
+	Severity       string            `json:"severity"`
+	Title          string            `json:"title"`
+	Problem        string            `json:"problem"`
+	Recommendation string            `json:"recommendation"`
+	InLoop         bool              `json:"in_loop"`
+	Sites          []JSONSite        `json:"sites"`
+	StallSummary   []string          `json:"stall_summary,omitempty"`
+	MetricSummary  []string          `json:"metric_summary,omitempty"`
+	Verification   *JSONVerification `json:"verification,omitempty"`
+}
+
+// JSONVerification mirrors Verification.
+type JSONVerification struct {
+	Workload       string            `json:"workload"`
+	Fixed          string            `json:"fixed"`
+	Change         string            `json:"change,omitempty"`
+	BaselineCycles float64           `json:"baseline_cycles"`
+	FixedCycles    float64           `json:"fixed_cycles"`
+	Speedup        float64           `json:"speedup"`
+	Verdict        string            `json:"verdict"`
+	StallDeltas    []JSONStallDelta  `json:"stall_deltas,omitempty"`
+	MetricDeltas   []JSONMetricDelta `json:"metric_deltas,omitempty"`
+}
+
+// JSONStallDelta mirrors StallDelta.
+type JSONStallDelta struct {
+	Stall  string  `json:"stall"`
+	Before float64 `json:"before"`
+	After  float64 `json:"after"`
+}
+
+// JSONMetricDelta mirrors MetricDelta.
+type JSONMetricDelta struct {
+	Name   string  `json:"name"`
+	Before float64 `json:"before"`
+	After  float64 `json:"after"`
 }
 
 // JSONSite mirrors Site.
@@ -85,6 +113,24 @@ func (r *Report) ToJSON() *JSONReport {
 			jf.Sites = append(jf.Sites, JSONSite{
 				PC: s.PC, File: s.File, Line: s.Line, SASS: s.SASS, Note: s.Note,
 			})
+		}
+		if v := f.Verification; v != nil {
+			jv := &JSONVerification{
+				Workload:       v.Workload,
+				Fixed:          v.Fixed,
+				Change:         v.Change,
+				BaselineCycles: v.BaselineCycles,
+				FixedCycles:    v.FixedCycles,
+				Speedup:        v.Speedup,
+				Verdict:        string(v.Verdict),
+			}
+			for _, sd := range v.StallDeltas {
+				jv.StallDeltas = append(jv.StallDeltas, JSONStallDelta(sd))
+			}
+			for _, md := range v.MetricDeltas {
+				jv.MetricDeltas = append(jv.MetricDeltas, JSONMetricDelta(md))
+			}
+			jf.Verification = jv
 		}
 		out.Findings = append(out.Findings, jf)
 	}

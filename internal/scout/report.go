@@ -57,6 +57,25 @@ func (r *Report) Render() string {
 				fmt.Fprintf(&b, "    %s\n", wrap(line, 72, "      "))
 			}
 		}
+		if v := f.Verification; v != nil {
+			fmt.Fprintf(&b, "  %s\n  Verification (recommendation re-executed):\n", thin[:70])
+			fmt.Fprintf(&b, "    %s\n", wrap(v.Summary(), 72, "      "))
+			if v.Change != "" {
+				fmt.Fprintf(&b, "    applied change: %s\n", wrap(v.Change, 72, "      "))
+			}
+			for _, sd := range v.StallDeltas {
+				fmt.Fprintf(&b, "    stall %-20s %5.1f%% -> %5.1f%% of stall samples\n",
+					sd.Stall, 100*sd.Before, 100*sd.After)
+			}
+			for _, md := range v.MetricDeltas {
+				rel := "new"
+				if md.Before != 0 {
+					rel = fmt.Sprintf("%+.1f%%", md.Delta())
+				}
+				fmt.Fprintf(&b, "    %-55s %12.6g -> %12.6g (%s)\n",
+					md.Name, md.Before, md.After, rel)
+			}
+		}
 	}
 
 	if !r.DryRun && r.Metrics != nil {

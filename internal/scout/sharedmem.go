@@ -58,7 +58,11 @@ func (a SharedMemAnalysis) Detect(v *KernelView) []Finding {
 				continue
 			}
 			dst := in.Dst[0].Reg
-			arith := v.DefUse.ArithUseCount(dst)
+			// Scope the count to this load's value: the allocator recycles
+			// registers, and an unrelated later value's arithmetic must not
+			// be credited to the load (sgemm_shared's staging loads would
+			// otherwise inherit the tile-compute FFMAs).
+			arith := v.DefUse.ArithUseCountAt(dst, i)
 			repeated := len(idxs) > 1
 			inLoop := v.CFG.InLoop(i)
 			// Fig. 4: repeated access to the same data AND arithmetic use;
@@ -77,8 +81,144 @@ func (a SharedMemAnalysis) Detect(v *KernelView) []Finding {
 			notes[i] = note
 		}
 	}
+	// Second pattern (§5.2 Jacobi): a stencil neighborhood. Several loads
+	// off the SAME base address at small offsets straddling zero mean each
+	// thread fetches its own element plus neighbors — adjacent threads
+	// re-fetch overlapping data from global memory, the halo pattern whose
+	// repair is shared-memory tiling. The within-thread reuse check above
+	// cannot see this: every loaded value is used once per thread, the
+	// reuse is across threads.
+	type baseKey struct {
+		base sass.Reg
+		def  int
+	}
+	groups := map[baseKey]map[int64][]int{}
+	for key, idxs := range loadsAt {
+		bk := baseKey{key.base, key.def}
+		if groups[bk] == nil {
+			groups[bk] = map[int64][]int{}
+		}
+		groups[bk][key.off] = append(groups[bk][key.off], idxs...)
+	}
+	var stencilSites []int
+	stencilNotes := map[int]string{}
+	for _, offs := range groups {
+		var min, max int64
+		distinct := 0
+		for off := range offs {
+			if distinct == 0 || off < min {
+				min = off
+			}
+			if distinct == 0 || off > max {
+				max = off
+			}
+			distinct++
+		}
+		// A centered window: at least three distinct offsets, neighbors on
+		// both sides of the thread's own element, within a cache line each
+		// way.
+		if distinct < 3 || min >= 0 || max <= 0 || max-min > 256 {
+			continue
+		}
+		for off, idxs := range offs {
+			for _, i := range idxs {
+				stencilSites = append(stencilSites, i)
+				stencilNotes[i] = fmt.Sprintf(
+					"neighbor load at offset %+d of a %d-point window [%+d..%+d]",
+					off, distinct, min, max)
+			}
+		}
+	}
+
+	// Third pattern (§5.3 SGEMM): a warp-uniform load in a loop. When a
+	// loop load's address never depends on tid.x, all 32 lanes of a warp
+	// request the same element every iteration — data that one thread
+	// could stage into shared memory for the whole block. The naive SGEMM
+	// inner product is the canonical case: its k-walking operand varies
+	// only with the loop counter and tid.y.
+	tainted := tidXTaint(v)
+	var uniformSites []int
+	uniformNotes := map[int]string{}
+	for key, idxs := range loadsAt {
+		if tainted[regDef{key.base, key.def}] {
+			continue
+		}
+		for _, i := range idxs {
+			in := &k.Insts[i]
+			if !v.CFG.InLoop(i) || len(in.Dst) == 0 || in.Dst[0].Kind != sass.OpdReg {
+				continue
+			}
+			if v.DefUse.ArithUseCountAt(in.Dst[0].Reg, i) == 0 {
+				continue
+			}
+			uniformSites = append(uniformSites, i)
+			uniformNotes[i] = fmt.Sprintf(
+				"address (base %s) is uniform across the warp: every lane requests the same element each iteration",
+				in.Dst[0].Reg)
+		}
+	}
+
+	var out []Finding
+	if len(uniformSites) > 0 {
+		sort.Ints(uniformSites)
+		uf := Finding{
+			Analysis: "shared_memory",
+			Title:    "Stage warp-uniform loop data in shared memory",
+			Problem: fmt.Sprintf(
+				"%d global load(s) in a loop use an address that does not depend on threadIdx.x; all 32 lanes of each warp fetch the same element every iteration, multiplying global traffic for data the block shares",
+				len(uniformSites)),
+			Recommendation: "stage the shared operand into __shared__ memory cooperatively (each thread copies a slice, then __syncthreads()), and read it from the tile inside the loop",
+			InLoop:         true,
+			RelevantStalls: []sim.Stall{sim.StallLongScoreboard},
+			RelevantMetrics: []string{
+				"smsp__inst_executed_op_global_ld.sum",
+				"smsp__warp_issue_stalled_long_scoreboard_per_warp_active.pct",
+			},
+			CautionMetrics: []string{
+				"l1tex__data_pipe_lsu_wavefronts_mem_shared_op_ld.sum",
+				"smsp__inst_executed_op_shared_ld.sum",
+				"smsp__warp_issue_stalled_mio_throttle_per_warp_active.pct",
+				"smsp__warp_issue_stalled_short_scoreboard_per_warp_active.pct",
+			},
+		}
+		for _, i := range uniformSites {
+			uf.Sites = append(uf.Sites, v.site(i, uniformNotes[i]))
+		}
+		out = append(out, uf)
+	}
+	if len(stencilSites) > 0 {
+		sort.Ints(stencilSites)
+		sf := Finding{
+			Analysis: "shared_memory",
+			Title:    "Stage the stencil neighborhood in shared memory",
+			Problem: fmt.Sprintf(
+				"%d global load(s) fetch a window of neighboring elements around each thread's own; adjacent threads re-request overlapping data from global memory every iteration",
+				len(stencilSites)),
+			Recommendation: "tile the block's working set (plus a halo) into __shared__ memory once, synchronize with __syncthreads(), and read neighbors from the tile; overlapping fetches then hit shared memory instead of L1TEX",
+			RelevantStalls: []sim.Stall{sim.StallLongScoreboard},
+			RelevantMetrics: []string{
+				"smsp__inst_executed_op_global_ld.sum",
+				"l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum",
+				"l1tex__t_sector_pipe_lsu_mem_global_op_ld_hit_rate.pct",
+			},
+			CautionMetrics: []string{
+				"l1tex__data_pipe_lsu_wavefronts_mem_shared_op_ld.sum",
+				"smsp__inst_executed_op_shared_ld.sum",
+				"smsp__warp_issue_stalled_mio_throttle_per_warp_active.pct",
+				"smsp__warp_issue_stalled_short_scoreboard_per_warp_active.pct",
+			},
+		}
+		for _, i := range stencilSites {
+			if v.CFG.InLoop(i) {
+				sf.InLoop = true
+			}
+			sf.Sites = append(sf.Sites, v.site(i, stencilNotes[i]))
+		}
+		out = append(out, sf)
+	}
+
 	if len(candidates) == 0 {
-		return nil
+		return out
 	}
 	sort.Ints(candidates)
 
@@ -109,5 +249,5 @@ func (a SharedMemAnalysis) Detect(v *KernelView) []Finding {
 		}
 		f.Sites = append(f.Sites, v.site(i, notes[i]))
 	}
-	return []Finding{f}
+	return append(out, f)
 }

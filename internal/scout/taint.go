@@ -1,0 +1,50 @@
+package scout
+
+import "gpuscout/internal/sass"
+
+// regDef names one SSA-ish value: the architectural register r as written
+// by the instruction at index def (-1 for values live on kernel entry).
+// Keying taint on the pair, not the register alone, keeps allocator
+// recycling from smearing taint across unrelated values.
+type regDef struct {
+	r   sass.Reg
+	def int
+}
+
+// tidXTaint computes which register definitions (transitively) depend on
+// threadIdx.x. Taint is seeded at S2R reads of SR_TID.X and propagated to
+// every instruction whose reaching source definitions include a tainted
+// value, iterating to a fixpoint so loop-carried dependencies converge.
+// A loop load whose address base is NOT in the returned set is
+// warp-uniform: all 32 lanes of a warp compute the same address.
+func tidXTaint(v *KernelView) map[regDef]bool {
+	k := v.Kernel
+	tainted := map[regDef]bool{}
+	var scratch [8]sass.Reg
+	for changed := true; changed; {
+		changed = false
+		for i := range k.Insts {
+			in := &k.Insts[i]
+			taint := in.Op == sass.OpS2R && len(in.Src) > 0 &&
+				in.Src[0].Kind == sass.OpdSpecial && in.Src[0].Special == sass.SRTidX
+			if !taint {
+				for _, r := range in.SrcRegs(scratch[:0]) {
+					if tainted[regDef{r, v.DefUse.LastDefBefore(r, i)}] {
+						taint = true
+						break
+					}
+				}
+			}
+			if !taint {
+				continue
+			}
+			for _, d := range in.DstRegs(scratch[:0]) {
+				if !tainted[regDef{d, i}] {
+					tainted[regDef{d, i}] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return tainted
+}

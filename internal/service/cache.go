@@ -81,9 +81,13 @@ func (c *reportCache) size() int {
 // the fixed fingerprint "static" — there the report depends only on the
 // kernel — so identical kernels share one entry regardless of whether
 // they arrived as a workload name, SASS text, or a cubin.
-func CacheKey(canonicalSASS, archTag, launch string, opts scout.Options) string {
+//
+// verify distinguishes reports with counterfactual Verification blocks
+// from plain ones: the same analysis with verification enabled carries
+// extra measured data, so the two must not share a cache entry.
+func CacheKey(canonicalSASS, archTag, launch string, opts scout.Options, verify bool) string {
 	h := sha256.New()
-	io.WriteString(h, "gpuscoutd-report-v1\x00")
+	io.WriteString(h, "gpuscoutd-report-v2\x00")
 	io.WriteString(h, archTag)
 	h.Write([]byte{0})
 	io.WriteString(h, launch)
@@ -91,8 +95,8 @@ func CacheKey(canonicalSASS, archTag, launch string, opts scout.Options) string 
 	// opts.Sim.Workers is deliberately not fingerprinted: the simulator
 	// guarantees bit-identical results for every worker count, so a
 	// report computed at any parallelism serves requests at all of them.
-	fmt.Fprintf(h, "dryrun=%t period=%g samplesms=%d maxcycles=%g",
-		opts.DryRun, opts.SamplingPeriod, opts.Sim.SampleSMs, opts.Sim.MaxCycles)
+	fmt.Fprintf(h, "dryrun=%t period=%g samplesms=%d maxcycles=%g verify=%t",
+		opts.DryRun, opts.SamplingPeriod, opts.Sim.SampleSMs, opts.Sim.MaxCycles, verify)
 	h.Write([]byte{0})
 	io.WriteString(h, canonicalSASS)
 	return hex.EncodeToString(h.Sum(nil))

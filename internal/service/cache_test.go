@@ -47,18 +47,19 @@ func TestReportCacheDisabled(t *testing.T) {
 }
 
 func TestCacheKeySensitivity(t *testing.T) {
-	base := CacheKey("SASS", "sm_70", "static", scout.Options{})
-	if CacheKey("SASS", "sm_70", "static", scout.Options{}) != base {
+	base := CacheKey("SASS", "sm_70", "static", scout.Options{}, false)
+	if CacheKey("SASS", "sm_70", "static", scout.Options{}, false) != base {
 		t.Error("cache key not deterministic")
 	}
 	variants := []string{
-		CacheKey("SASS2", "sm_70", "static", scout.Options{}),
-		CacheKey("SASS", "sm_60", "static", scout.Options{}),
-		CacheKey("SASS", "sm_70", "workload=sgemm_naive scale=256", scout.Options{}),
-		CacheKey("SASS", "sm_70", "workload=sgemm_naive scale=320", scout.Options{}),
-		CacheKey("SASS", "sm_70", "static", scout.Options{DryRun: true}),
-		CacheKey("SASS", "sm_70", "static", scout.Options{SamplingPeriod: 512}),
-		CacheKey("SASS", "sm_70", "static", scout.Options{Sim: sim.Config{SampleSMs: 2}}),
+		CacheKey("SASS2", "sm_70", "static", scout.Options{}, false),
+		CacheKey("SASS", "sm_60", "static", scout.Options{}, false),
+		CacheKey("SASS", "sm_70", "workload=sgemm_naive scale=256", scout.Options{}, false),
+		CacheKey("SASS", "sm_70", "workload=sgemm_naive scale=320", scout.Options{}, false),
+		CacheKey("SASS", "sm_70", "static", scout.Options{DryRun: true}, false),
+		CacheKey("SASS", "sm_70", "static", scout.Options{SamplingPeriod: 512}, false),
+		CacheKey("SASS", "sm_70", "static", scout.Options{Sim: sim.Config{SampleSMs: 2}}, false),
+		CacheKey("SASS", "sm_70", "static", scout.Options{}, true),
 	}
 	seen := map[string]bool{base: true}
 	for i, v := range variants {

@@ -56,6 +56,10 @@ type AnalyzeRequest struct {
 	Arch string `json:"arch,omitempty"`
 	// DryRun restricts a workload analysis to the static pillar.
 	DryRun bool `json:"dry_run,omitempty"`
+	// Verify re-executes each recommendation's paired optimized variant
+	// and attaches the measured Verification blocks (workload analyses
+	// only; incompatible with dry_run).
+	Verify bool `json:"verify,omitempty"`
 	// SamplingPeriod overrides the CUPTI sampling period in cycles.
 	SamplingPeriod float64 `json:"sampling_period,omitempty"`
 	// SampleSMs caps how many SMs the simulator models (0 = default).
@@ -89,6 +93,12 @@ func (r *AnalyzeRequest) validate() error {
 	}
 	if r.Scale < 0 {
 		return fmt.Errorf("scale must be >= 0")
+	}
+	if r.Verify && r.Workload == "" {
+		return fmt.Errorf("verify needs a workload analysis (recommendation pairs are workload-keyed)")
+	}
+	if r.Verify && r.DryRun {
+		return fmt.Errorf("verify needs the dynamic pillars; incompatible with dry_run")
 	}
 	if r.SimWorkers < 0 {
 		return fmt.Errorf("sim_workers must be >= 0")

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gpuscout/internal/advisor"
 	"gpuscout/internal/cubin"
 	"gpuscout/internal/gpu"
 	"gpuscout/internal/sass"
@@ -107,6 +108,7 @@ type Service struct {
 	stageDuration map[string]*Histogram
 	simWall       *Histogram
 	simSpeedup    *Histogram
+	verifications map[scout.Verdict]*Counter
 }
 
 // New builds a Service and starts its worker pool.
@@ -140,14 +142,20 @@ func New(cfg Config) (*Service, error) {
 		"Reports currently cached.",
 		func() float64 { return float64(s.cache.size()) })
 	s.stageDuration = map[string]*Histogram{}
-	for _, stage := range []string{"build", "analyze", "encode"} {
+	for _, stage := range []string{"build", "analyze", "verify", "encode"} {
 		s.stageDuration[stage] = r.NewHistogram("gpuscoutd_stage_seconds",
-			"Per-stage job latency: build (kernel resolution), analyze (pipeline), encode (report JSON).",
+			"Per-stage job latency: build (kernel resolution), analyze (pipeline), verify (counterfactual re-runs), encode (report JSON).",
 			nil, Label{"stage", stage})
 	}
 	r.NewGaugeFunc("gpuscoutd_sim_workers_default",
 		"Per-launch simulation parallelism applied to jobs that don't set sim_workers.",
 		func() float64 { return float64(s.cfg.SimWorkers) })
+	s.verifications = map[scout.Verdict]*Counter{}
+	for _, v := range []scout.Verdict{scout.VerdictConfirmed, scout.VerdictNeutral, scout.VerdictRefuted} {
+		s.verifications[v] = r.NewCounter("gpuscoutd_verifications_total",
+			"Counterfactually verified recommendations, by measured verdict.",
+			Label{"verdict", string(v)})
+	}
 	s.simWall = r.NewHistogram("gpuscoutd_sim_wall_seconds",
 		"Host wall time of each simulated launch's SM phase.", nil)
 	s.simSpeedup = r.NewHistogram("gpuscoutd_sim_speedup",
@@ -263,7 +271,7 @@ func (s *Service) execute(j *Job) {
 	if run != nil {
 		launch = fmt.Sprintf("workload=%s scale=%d", j.req.Workload, j.req.Scale)
 	}
-	key := CacheKey(sass.Print(k), arch.SM, launch, opts)
+	key := CacheKey(sass.Print(k), arch.SM, launch, opts, j.req.Verify)
 	if data, ok := s.cache.get(key); ok {
 		s.cacheHits.Inc()
 		j.finish(s.countFinish(StateDone), data, "", true)
@@ -282,6 +290,26 @@ func (s *Service) execute(j *Job) {
 			j.finish(s.countFinish(StateFailed), nil, err.Error(), false)
 		}
 		return
+	}
+
+	// Stage 3b: counterfactual verification — re-execute each paired
+	// optimized variant under the same sim config and the same job
+	// context, so the per-job timeout covers the variant runs too.
+	if j.req.Verify {
+		t := time.Now()
+		sum, err := advisor.Verify(j.ctx, rep, j.req.Workload, j.req.Scale, arch, opts.Sim)
+		s.stageDuration["verify"].Observe(time.Since(t).Seconds())
+		if err != nil {
+			if j.ctx.Err() != nil {
+				j.finish(s.countFinish(j.interrupted()), nil, err.Error(), false)
+			} else {
+				j.finish(s.countFinish(StateFailed), nil, "verify: "+err.Error(), false)
+			}
+			return
+		}
+		s.verifications[scout.VerdictConfirmed].Add(uint64(sum.Confirmed))
+		s.verifications[scout.VerdictNeutral].Add(uint64(sum.Neutral))
+		s.verifications[scout.VerdictRefuted].Add(uint64(sum.Refuted))
 	}
 
 	// Stage 4: encode once, cache the immutable bytes.

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestVerifyJob runs a verification-enabled analysis through the daemon:
+// the report must carry Verification blocks, the verdict counters must
+// advance, and the verified report must not share a cache entry with the
+// plain analysis of the same workload.
+func TestVerifyJob(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	req := `{"workload":"sgemm_naive","scale":64,"sample_sms":1,"verify":true}`
+	resp, body := postAnalyze(t, ts, "", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify analyze: status %d, body %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", st.State, st.Error)
+	}
+	if !bytes.Contains(st.Report, []byte(`"verification"`)) {
+		t.Fatalf("report carries no verification blocks: %.200s", st.Report)
+	}
+	if !bytes.Contains(st.Report, []byte(`"verdict": "confirmed"`)) {
+		t.Error("report has no confirmed verdict")
+	}
+
+	var verified uint64
+	for _, c := range svc.verifications {
+		verified += c.Value()
+	}
+	if verified == 0 {
+		t.Error("verdict counters did not advance")
+	}
+	if confirmed := metricValue(t, ts,
+		`gpuscoutd_verifications_total{verdict="confirmed"}`); confirmed < 1 {
+		t.Errorf("confirmed verifications = %g, want >= 1", confirmed)
+	}
+
+	// The same analysis without verification is a different report and
+	// must occupy its own cache entry.
+	plain := `{"workload":"sgemm_naive","scale":64,"sample_sms":1}`
+	resp, body = postAnalyze(t, ts, "", plain)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plain analyze: status %d, body %s", resp.StatusCode, body)
+	}
+	var st2 Status
+	if err := json.Unmarshal(body, &st2); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if st2.CacheHit {
+		t.Error("plain analysis hit the verified report's cache entry")
+	}
+	if bytes.Contains(st2.Report, []byte(`"verification"`)) {
+		t.Error("plain report carries verification blocks")
+	}
+	if n := svc.cache.size(); n != 2 {
+		t.Errorf("cache size = %d, want 2 (verified and plain are distinct)", n)
+	}
+
+	// Re-submitting the verified request now hits the cache.
+	resp, body = postAnalyze(t, ts, "", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat verify analyze: status %d, body %s", resp.StatusCode, body)
+	}
+	var st3 Status
+	if err := json.Unmarshal(body, &st3); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !st3.CacheHit {
+		t.Error("repeated verified analysis missed the cache")
+	}
+	if !bytes.Equal(st.Report, st3.Report) {
+		t.Error("cached verified report differs from the original")
+	}
+}
+
+// TestVerifyValidation: verify is only meaningful for workload analyses
+// with the dynamic pillars.
+func TestVerifyValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	for _, body := range []string{
+		`{"workload":"sgemm_naive","verify":true,"dry_run":true}`,
+		`{"sass":"// bogus","verify":true}`,
+	} {
+		resp, data := postAnalyze(t, ts, "", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", body, resp.StatusCode, data)
+		}
+	}
+}

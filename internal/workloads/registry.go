@@ -44,22 +44,31 @@ type Workload struct {
 // "scale" is workload-specific; see each constructor).
 type Factory func(scale int) (*Workload, error)
 
-var factories = map[string]Factory{}
+var (
+	factories = map[string]Factory{}
+	// names holds the registered names in sorted order, maintained at
+	// registration time. Callers that iterate the registry (the golden
+	// suite, the CLI's workload listing, the daemon) must never see Go's
+	// randomized map order.
+	names []string
+)
 
 func register(name string, f Factory) {
 	if _, dup := factories[name]; dup {
 		panic(fmt.Sprintf("workloads: duplicate %q", name))
 	}
 	factories[name] = f
+	i := sort.SearchStrings(names, name)
+	names = append(names, "")
+	copy(names[i+1:], names[i:])
+	names[i] = name
 }
 
-// Names lists registered workload names, sorted.
+// Names lists registered workload names, sorted. The returned slice is a
+// copy; callers may mutate it freely.
 func Names() []string {
-	out := make([]string, 0, len(factories))
-	for n := range factories {
-		out = append(out, n)
-	}
-	sort.Strings(out)
+	out := make([]string, len(names))
+	copy(out, names)
 	return out
 }
 

@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestNamesSortedAndStable pins the registry's determinism contract: Names
+// is sorted, duplicate-free, consistent with the factories map, and hands
+// out an independent copy each call.
+func TestNamesSortedAndStable(t *testing.T) {
+	got := Names()
+	if len(got) == 0 {
+		t.Fatal("no workloads registered")
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("Names() not sorted: %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			t.Errorf("duplicate name %q", got[i])
+		}
+	}
+	if len(got) != len(factories) {
+		t.Errorf("Names() has %d entries, factories map has %d", len(got), len(factories))
+	}
+	for _, n := range got {
+		if _, ok := factories[n]; !ok {
+			t.Errorf("Names() lists %q but it is not in the factories map", n)
+		}
+	}
+	// Mutating the returned slice must not corrupt the registry.
+	got[0] = "zzz_mutated"
+	if again := Names(); again[0] == "zzz_mutated" {
+		t.Error("Names() returns a shared slice; mutation leaked into the registry")
+	}
+}
+
+// TestRegisterInsertsSorted exercises the insertion path directly: names
+// arriving in arbitrary order land in sorted position.
+func TestRegisterInsertsSorted(t *testing.T) {
+	defer func(f map[string]Factory, n []string) { factories, names = f, n }(factories, names)
+	factories = map[string]Factory{}
+	names = nil
+	for _, n := range []string{"mango", "apple", "zebra", "kiwi"} {
+		register(n, nil)
+	}
+	want := []string{"apple", "kiwi", "mango", "zebra"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRegisterPanicsOnDuplicate locks in the duplicate guard.
+func TestRegisterPanicsOnDuplicate(t *testing.T) {
+	defer func(f map[string]Factory, n []string) { factories, names = f, n }(factories, names)
+	factories = map[string]Factory{}
+	names = nil
+	register("once", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate register did not panic")
+		}
+	}()
+	register("once", nil)
+}
+
+// TestBuildUnknownNamesRegistry checks the error path mentions the sorted
+// registry listing (the message users see from the CLI).
+func TestBuildUnknownNamesRegistry(t *testing.T) {
+	_, err := Build("no_such_workload", 0)
+	if err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}

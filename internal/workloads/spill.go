@@ -40,6 +40,18 @@ var spillSource = []string{
 // SpillPressureWorkload builds the workload; scale is the iteration count
 // (<= 0 selects 32).
 func SpillPressureWorkload(scale int) (*Workload, error) {
+	return spillWorkload(scale, spillBudget)
+}
+
+// SpillReliefWorkload is the same kernel compiled without the register
+// cap — the §4.2 fix (raise -maxrregcount / drop the launch-bounds
+// constraint) — so the advisor can re-execute the recommendation and
+// measure the spill traffic disappearing.
+func SpillReliefWorkload(scale int) (*Workload, error) {
+	return spillWorkload(scale, 0)
+}
+
+func spillWorkload(scale, maxRegs int) (*Workload, error) {
 	iters := scale
 	if iters <= 0 {
 		iters = spillIters
@@ -93,15 +105,21 @@ func SpillPressureWorkload(scale int) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	k, err := codegen.Compile(prog, codegen.Options{MaxRegs: spillBudget})
+	k, err := codegen.Compile(prog, codegen.Options{MaxRegs: maxRegs})
 	if err != nil {
 		return nil, err
 	}
 
+	name := "spill_pressure"
+	desc := fmt.Sprintf("register-pressure kernel compiled with maxrregcount=%d (forces spills)", maxRegs)
+	if maxRegs <= 0 {
+		name = "spill_relief"
+		desc = "register-pressure kernel compiled without a register cap (no spills)"
+	}
 	threads := spillBlock * spillBlocks
 	w := &Workload{
-		Name:        "spill_pressure",
-		Description: fmt.Sprintf("register-pressure kernel compiled with maxrregcount=%d (forces spills)", spillBudget),
+		Name:        name,
+		Description: desc,
 		Kernel:      k,
 		Prepare: func(dev *sim.Device) (*Run, error) {
 			inBuf, err := dev.Alloc(4 * threads * spillValues)
@@ -160,4 +178,5 @@ func SpillPressureWorkload(scale int) (*Workload, error) {
 
 func init() {
 	register("spill_pressure", SpillPressureWorkload)
+	register("spill_relief", SpillReliefWorkload)
 }
