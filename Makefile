@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race serve bench-parallel fmt-check
+.PHONY: check build vet test race chaos serve bench-parallel fmt-check
 
 check: build vet race
 
@@ -20,6 +20,11 @@ test:
 # small machines; raise the per-package timeout well past the default.
 race:
 	$(GO) test -race -timeout 30m ./...
+
+# Fault-injection chaos suite: every workload through every reachable
+# fault site, under the race detector (see DESIGN.md §10).
+chaos:
+	$(GO) test -race -tags faultinject -run 'Chaos' -timeout 30m ./...
 
 # Run the analysis service locally.
 serve:

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,8 @@ func main() {
 		srcView  = flag.Bool("source-view", false, "also print the correlated source/SASS view")
 		jsonOut  = flag.String("json", "", "write the report as JSON to this file")
 		region   = flag.String("region", "", "profile a source-line region, e.g. -region 5:10")
+		timeout  = flag.Duration("timeout", 0, "overall analysis deadline (0 = none); with stage budgets, a slow stage degrades the report instead of failing it")
+		budgetsF = flag.String("stage-budgets", "", `per-stage deadline split "parse,sim,scout,verify" (e.g. "5,55,15,25"; "off" disables staged degradation; empty = defaults)`)
 	)
 	flag.Parse()
 
@@ -50,15 +53,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	budgets, err := gpuscout.ParseStageBudgets(*budgetsF)
+	if err != nil {
+		fatal(err)
+	}
 	opts := gpuscout.Options{
 		DryRun:         *dryRun,
 		SamplingPeriod: *period,
 		Sim:            gpuscout.SimConfig{SampleSMs: *sample},
+		Budgets:        budgets,
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	switch {
 	case *workload != "":
-		rep, err := gpuscout.AnalyzeWorkload(*workload, *scale, arch, opts)
+		rep, err := gpuscout.AnalyzeWorkloadContext(ctx, *workload, *scale, arch, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -97,7 +111,7 @@ func main() {
 			fmt.Println(prof.Render())
 		}
 		if *compare != "" {
-			rep2, err := gpuscout.AnalyzeWorkload(*compare, *scale, arch, opts)
+			rep2, err := gpuscout.AnalyzeWorkloadContext(ctx, *compare, *scale, arch, opts)
 			if err != nil {
 				fatal(err)
 			}

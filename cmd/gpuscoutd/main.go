@@ -37,17 +37,33 @@ func main() {
 		maxBody  = flag.Int64("max-upload", 8<<20, "max request body bytes (SASS/cubin uploads)")
 		retained = flag.Int("retained-jobs", 1024, "finished jobs kept for GET /v1/jobs/{id}")
 		simW     = flag.Int("sim-workers", 1, "default per-launch simulation parallelism (sampled SMs simulated concurrently); jobs may override via sim_workers")
+		budgetsF = flag.String("stage-budgets", "", `per-stage deadline split "parse,sim,scout,verify" (e.g. "5,55,15,25"; "off" disables staged degradation; empty = defaults)`)
+		retries  = flag.Int("retry-attempts", 2, "max execution attempts per job for transient failures (1 disables retry)")
+		backoff  = flag.Duration("retry-backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, capped, jittered)")
+		quarAft  = flag.Int("quarantine-after", 2, "consecutive failures before an input is quarantined (negative disables)")
+		quarCool = flag.Duration("quarantine-cooldown", 30*time.Second, "how long a quarantined input stays rejected before a probe is admitted")
 	)
 	flag.Parse()
 
+	budgets, err := gpuscout.ParseStageBudgets(*budgetsF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpuscoutd:", err)
+		os.Exit(2)
+	}
+
 	svc, err := gpuscout.NewService(gpuscout.ServiceConfig{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheEntries:    *cache,
-		DefaultTimeout:  *timeout,
-		MaxUploadBytes:  *maxBody,
-		MaxJobsRetained: *retained,
-		SimWorkers:      *simW,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		CacheEntries:       *cache,
+		DefaultTimeout:     *timeout,
+		MaxUploadBytes:     *maxBody,
+		MaxJobsRetained:    *retained,
+		SimWorkers:         *simW,
+		StageBudgets:       budgets,
+		RetryAttempts:      *retries,
+		RetryBackoff:       *backoff,
+		QuarantineAfter:    *quarAft,
+		QuarantineCooldown: *quarCool,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpuscoutd:", err)
@@ -60,14 +76,16 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// Graceful shutdown: stop accepting connections, then cancel every
-	// queued/running job and drain the worker pool.
+	// Graceful shutdown, in readiness-first order: flip /readyz to 503 so
+	// load balancers stop routing, then stop accepting connections, then
+	// cancel every queued/running job and drain the worker pool.
 	idle := make(chan struct{})
 	go func() {
 		sigc := make(chan os.Signal, 1)
 		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 		<-sigc
 		log.Print("gpuscoutd: shutting down")
+		svc.BeginShutdown()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

@@ -164,6 +164,27 @@ type Options = scout.Options
 // Report is a full GPUscout report; call Render for the text form.
 type Report = scout.Report
 
+// Degradation is one ledger entry in a degraded report: the stage and
+// instrumented site that failed, how (panic/timeout/error), and what the
+// report lost. A report either carries the data or an entry naming
+// exactly why it does not.
+type Degradation = scout.Degradation
+
+// StageBudgets splits a deadline into per-stage slices so one slow stage
+// degrades the report instead of timing the whole analysis out. The zero
+// value uses DefaultStageBudgets; set Disabled for whole-deadline
+// semantics.
+type StageBudgets = scout.StageBudgets
+
+// DefaultStageBudgets is the standard deadline split
+// (parse 5% / sim 55% / scout 15% / verify 25%).
+func DefaultStageBudgets() StageBudgets { return scout.DefaultStageBudgets() }
+
+// ParseStageBudgets parses the -stage-budgets flag syntax: "" for the
+// defaults, "off" to disable staged degradation, or four comma-separated
+// weights for parse,sim,scout,verify (only the ratio matters).
+func ParseStageBudgets(s string) (StageBudgets, error) { return scout.ParseStageBudgets(s) }
+
 // Finding is one detected bottleneck with sites, stalls and metrics.
 type Finding = scout.Finding
 

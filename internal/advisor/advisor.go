@@ -12,14 +12,23 @@ package advisor
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
+	"gpuscout/internal/faultinject"
 	"gpuscout/internal/gpu"
 	"gpuscout/internal/ncu"
 	"gpuscout/internal/scout"
 	"gpuscout/internal/sim"
 	"gpuscout/internal/workloads"
+)
+
+// Fault-injection sites: siteVerify covers one variant's build+run+collect,
+// siteAttach covers attaching one finding's Verification block.
+var (
+	siteVerify = faultinject.Register("advisor.verify")
+	siteAttach = faultinject.Register("advisor.attach")
 )
 
 // Pair maps one detector recommendation on a baseline workload to the
@@ -154,6 +163,12 @@ func Verify(ctx context.Context, rep *scout.Report, workload string, scale int, 
 	}
 
 	// Pass 2: execute each distinct variant once and collect its metrics.
+	// Each variant runs under its own panic guard: a crashing or failing
+	// variant leaves only the findings mapped to it unverified, recorded
+	// in the report's degradation ledger. When the verify budget (the ctx
+	// deadline) expires, the remaining variants are skipped the same way —
+	// findings ship unverified rather than the job timing out. An explicit
+	// cancellation still aborts the whole pass.
 	runs := map[string]*fixedRun{}
 	fixedNames := make([]string, 0, len(needed))
 	for name := range needed {
@@ -162,62 +177,101 @@ func Verify(ctx context.Context, rep *scout.Report, workload string, scale int, 
 	sort.Strings(fixedNames)
 	for _, name := range fixedNames {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("advisor: %w", err)
+			if errors.Is(err, context.Canceled) {
+				return nil, fmt.Errorf("advisor: %w", err)
+			}
+			rep.Degradations = append(rep.Degradations, scout.Degradation{
+				Stage: scout.StageVerify, Site: siteVerify, Kind: scout.DegradeTimeout,
+				Detail: fmt.Sprintf("variant %s skipped: verify budget exhausted; paired findings ship unverified", name),
+			})
+			continue
 		}
-		w, err := workloads.Build(name, scale)
-		if err != nil {
-			return nil, fmt.Errorf("advisor: build variant: %w", err)
+		run := &fixedRun{}
+		if err := scout.Guard(scout.StageVerify, siteVerify, func() error {
+			if err := faultinject.Hit(siteVerify); err != nil {
+				return err
+			}
+			w, err := workloads.Build(name, scale)
+			if err != nil {
+				return fmt.Errorf("build variant: %w", err)
+			}
+			res, err := workloads.ExecuteContext(ctx, w, sim.NewDevice(arch), cfg)
+			if err != nil {
+				return fmt.Errorf("run variant %s: %w", name, err)
+			}
+			ms, err := ncu.Collector{Arch: arch}.Collect(
+				ncu.Context{Kernel: w.Kernel, Result: res}, needed[name])
+			if err != nil {
+				return fmt.Errorf("collect variant metrics %s: %w", name, err)
+			}
+			run.result, run.metrics = res, ms
+			return nil
+		}); err != nil {
+			if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+				return nil, fmt.Errorf("advisor: %w", err)
+			}
+			d := scout.DegradationFor(scout.StageVerify, siteVerify, err, ctx.Err() != nil)
+			d.Detail = fmt.Sprintf("variant %s unverified: %s", name, d.Detail)
+			rep.Degradations = append(rep.Degradations, d)
+			continue
 		}
-		res, err := workloads.ExecuteContext(ctx, w, sim.NewDevice(arch), cfg)
-		if err != nil {
-			return nil, fmt.Errorf("advisor: run variant %s: %w", name, err)
-		}
-		ms, err := ncu.Collector{Arch: arch}.Collect(
-			ncu.Context{Kernel: w.Kernel, Result: res}, needed[name])
-		if err != nil {
-			return nil, fmt.Errorf("advisor: collect variant metrics %s: %w", name, err)
-		}
-		runs[name] = &fixedRun{result: res, metrics: ms}
+		runs[name] = run
 	}
 
-	// Pass 3: attach a Verification block to each paired finding.
+	// Pass 3: attach a Verification block to each paired finding, each
+	// under its own guard — a panicking attach drops only that finding's
+	// block.
 	for i := range rep.Findings {
 		f := &rep.Findings[i]
 		p, ok := PairFor(workload, f.Analysis)
 		if !ok {
 			continue
 		}
-		run := runs[p.Fixed]
-		v := &scout.Verification{
-			Workload:       workload,
-			Fixed:          p.Fixed,
-			Change:         p.Change,
-			BaselineCycles: rep.Result.Cycles,
-			FixedCycles:    run.result.Cycles,
+		run, ok := runs[p.Fixed]
+		if !ok {
+			continue // variant failed or was skipped; already in the ledger
 		}
-		if run.result.Cycles > 0 {
-			v.Speedup = rep.Result.Cycles / run.result.Cycles
-		}
-		v.Verdict = scout.Grade(v.Speedup)
-		for _, st := range f.RelevantStalls {
-			v.StallDeltas = append(v.StallDeltas, scout.StallDelta{
-				Stall:  st.String(),
-				Before: rep.Result.StallShare(st),
-				After:  run.result.StallShare(st),
-			})
-		}
-		for _, name := range appendUnique(appendUnique(nil, f.RelevantMetrics...), f.CautionMetrics...) {
-			before, okB := rep.Metrics.Get(name)
-			after, okA := run.metrics.Get(name)
-			if !okB || !okA || before == after {
-				continue
+		if err := scout.Guard(scout.StageVerify, siteAttach, func() error {
+			if err := faultinject.Hit(siteAttach); err != nil {
+				return err
 			}
-			v.MetricDeltas = append(v.MetricDeltas, scout.MetricDelta{
-				Name: name, Before: before, After: after,
-			})
+			v := &scout.Verification{
+				Workload:       workload,
+				Fixed:          p.Fixed,
+				Change:         p.Change,
+				BaselineCycles: rep.Result.Cycles,
+				FixedCycles:    run.result.Cycles,
+			}
+			if run.result.Cycles > 0 {
+				v.Speedup = rep.Result.Cycles / run.result.Cycles
+			}
+			v.Verdict = scout.Grade(v.Speedup)
+			for _, st := range f.RelevantStalls {
+				v.StallDeltas = append(v.StallDeltas, scout.StallDelta{
+					Stall:  st.String(),
+					Before: rep.Result.StallShare(st),
+					After:  run.result.StallShare(st),
+				})
+			}
+			for _, name := range appendUnique(appendUnique(nil, f.RelevantMetrics...), f.CautionMetrics...) {
+				before, okB := rep.Metrics.Get(name)
+				after, okA := run.metrics.Get(name)
+				if !okB || !okA || before == after {
+					continue
+				}
+				v.MetricDeltas = append(v.MetricDeltas, scout.MetricDelta{
+					Name: name, Before: before, After: after,
+				})
+			}
+			f.Verification = v
+			summary.Add(v.Verdict)
+			return nil
+		}); err != nil {
+			f.Verification = nil
+			d := scout.DegradationFor(scout.StageVerify, siteAttach, err, false)
+			d.Detail = fmt.Sprintf("finding %s (%s) unverified: %s", f.Analysis, p.Fixed, d.Detail)
+			rep.Degradations = append(rep.Degradations, d)
 		}
-		f.Verification = v
-		summary.Add(v.Verdict)
 	}
 	return summary, nil
 }

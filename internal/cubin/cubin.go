@@ -15,8 +15,12 @@ import (
 	"fmt"
 	"io"
 
+	"gpuscout/internal/faultinject"
 	"gpuscout/internal/sass"
 )
+
+// siteDecode is the fault-injection site covering untrusted-input decode.
+var siteDecode = faultinject.Register("cubin.decode")
 
 // Magic identifies a serialized Binary.
 var Magic = [4]byte{'C', 'U', 'B', 'N'}
@@ -119,6 +123,9 @@ const (
 // input ends early) — never a panic and never an allocation proportional
 // to a claimed-but-absent size.
 func Decode(data []byte) (*Binary, error) {
+	if err := faultinject.Hit(siteDecode); err != nil {
+		return nil, fmt.Errorf("cubin: %w", err)
+	}
 	r := &reader{data: data}
 	var magic [4]byte
 	r.bytes(magic[:])

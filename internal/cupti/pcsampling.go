@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gpuscout/internal/faultinject"
 	"gpuscout/internal/sass"
 	"gpuscout/internal/sim"
 )
@@ -45,8 +46,14 @@ type Report struct {
 	kernel [sim.NumStalls]float64 // whole-kernel aggregate
 }
 
+// siteCollect is the fault-injection site covering sample synthesis.
+var siteCollect = faultinject.Register("cupti.collect")
+
 // Collect synthesizes the PC-sampling report for a finished launch.
 func Collect(k *sass.Kernel, res *sim.Result, cfg Config) (*Report, error) {
+	if err := faultinject.Hit(siteCollect); err != nil {
+		return nil, fmt.Errorf("cupti: %w", err)
+	}
 	if res == nil || res.Counters == nil {
 		return nil, fmt.Errorf("cupti: no simulation result")
 	}

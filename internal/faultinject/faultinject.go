@@ -1,0 +1,237 @@
+// Package faultinject is the deterministic fault-injection harness behind
+// the chaos test suite and gpuscoutd's build-tag-gated debug endpoint.
+//
+// Pipeline stages declare *sites* — stable, dot-separated names such as
+// "sim.launch", "scout.detector.bank_conflicts", "advisor.verify" or
+// "cubin.decode" — by calling Register at init time and Hit on the hot
+// path. A disarmed site costs one atomic load; tests (or the daemon's
+// debug endpoint) Arm a site to panic, delay past a stage budget, or
+// return an error, optionally only on the Nth hit and only a bounded
+// number of times. Everything is deterministic: no randomness, no
+// time-based triggering, and hit counting is per-armed-fault, so a chaos
+// run replays exactly.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects what an armed fault does when it fires.
+type Mode int
+
+const (
+	// ModePanic makes Hit panic with an *InjectedPanic.
+	ModePanic Mode = iota
+	// ModeError makes Hit return an error wrapping ErrInjected.
+	ModeError
+	// ModeDelay makes Hit sleep for Fault.Delay, then pass — the way a
+	// stage blows its deadline without failing outright.
+	ModeDelay
+)
+
+// String names the mode ("panic", "error", "delay").
+func (m Mode) String() string {
+	switch m {
+	case ModePanic:
+		return "panic"
+	case ModeError:
+		return "error"
+	case ModeDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ParseMode is the inverse of Mode.String.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "panic":
+		return ModePanic, nil
+	case "error":
+		return ModeError, nil
+	case "delay":
+		return ModeDelay, nil
+	default:
+		return 0, fmt.Errorf("faultinject: unknown mode %q (want panic, error or delay)", s)
+	}
+}
+
+// ErrInjected is the root of every error an armed ModeError fault
+// returns; errors.Is(err, ErrInjected) identifies injected failures so
+// retry logic can classify them as transient.
+var ErrInjected = errors.New("injected fault")
+
+// InjectedPanic is the value an armed ModePanic fault panics with. Stage
+// guards recognize it to attribute the panic to its site.
+type InjectedPanic struct {
+	// Site is the site that fired.
+	Site string
+}
+
+func (p *InjectedPanic) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %s", p.Site)
+}
+
+// Fault arms one site. The zero Mode is ModePanic.
+type Fault struct {
+	// Site names the instrumented location (must be registered).
+	Site string
+	// Mode selects panic, error, or delay.
+	Mode Mode
+	// Delay is how long a ModeDelay fault sleeps.
+	Delay time.Duration
+	// Err overrides the returned error for ModeError (it is wrapped so
+	// errors.Is(err, ErrInjected) still holds). Nil uses a default.
+	Err error
+	// SkipHits passes through this many hits before the fault starts
+	// firing ("fire on the Nth hit" = SkipHits: N-1).
+	SkipHits int
+	// Times bounds how often the fault fires once reached; 0 means
+	// every remaining hit. SkipHits:0 Times:1 is a single-shot fault —
+	// the shape transient-failure retry tests want.
+	Times int
+}
+
+type armedFault struct {
+	Fault
+	hits  int // total Hit calls observed while armed
+	fired int // times the fault actually fired
+}
+
+var (
+	mu       sync.Mutex
+	sites    = map[string]bool{}
+	armed    = map[string]*armedFault{}
+	armedLen atomic.Int32 // fast disarmed-path check
+)
+
+// Register declares a site name so chaos suites can enumerate every
+// instrumented location. Call it from an init function next to the Hit
+// call. Registering the same name twice is fine. It returns the name so
+// instrumented packages can write:
+//
+//	var siteLaunch = faultinject.Register("sim.launch")
+func Register(site string) string {
+	mu.Lock()
+	sites[site] = true
+	mu.Unlock()
+	return site
+}
+
+// Sites returns every registered site name, sorted.
+func Sites() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(sites))
+	for s := range sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Arm installs a fault at its site, replacing any fault already armed
+// there, and returns a disarm function. Arming an unregistered site is
+// an error — it would silently never fire.
+func Arm(f Fault) (func(), error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if !sites[f.Site] {
+		return nil, fmt.Errorf("faultinject: site %q is not registered (known: %d sites)", f.Site, len(sites))
+	}
+	if _, replaced := armed[f.Site]; !replaced {
+		armedLen.Add(1)
+	}
+	armed[f.Site] = &armedFault{Fault: f}
+	site := f.Site
+	return func() { Disarm(site) }, nil
+}
+
+// Disarm removes the fault at site, if any.
+func Disarm(site string) {
+	mu.Lock()
+	if _, ok := armed[site]; ok {
+		delete(armed, site)
+		armedLen.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every fault. Hit counters go with the faults.
+func Reset() {
+	mu.Lock()
+	for s := range armed {
+		delete(armed, s)
+	}
+	armedLen.Store(0)
+	mu.Unlock()
+}
+
+// Armed reports the faults currently installed, keyed by site, with the
+// observed hit and fire counts folded in (Times left at the armed value).
+func Armed() map[string]Fault {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make(map[string]Fault, len(armed))
+	for s, f := range armed {
+		out[s] = f.Fault
+	}
+	return out
+}
+
+// Fired reports how many times the fault armed at site has fired. A
+// disarmed site reports 0.
+func Fired(site string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if f, ok := armed[site]; ok {
+		return f.fired
+	}
+	return 0
+}
+
+// Hit is the instrumentation point. With nothing armed anywhere it is a
+// single atomic load. An armed site fires according to its Fault: panic
+// (with *InjectedPanic), sleep (ModeDelay), or a returned error wrapping
+// ErrInjected. Hits before SkipHits and after Times firings pass through.
+func Hit(site string) error {
+	if armedLen.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	f, ok := armed[site]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	f.hits++
+	fire := f.hits > f.SkipHits && (f.Times == 0 || f.fired < f.Times)
+	if fire {
+		f.fired++
+	}
+	// Copy what the firing needs before releasing the lock: a ModeDelay
+	// sleep must not serialize every other site behind it.
+	mode, delay, err := f.Mode, f.Delay, f.Err
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	switch mode {
+	case ModePanic:
+		panic(&InjectedPanic{Site: site})
+	case ModeDelay:
+		time.Sleep(delay)
+		return nil
+	default:
+		if err == nil {
+			return fmt.Errorf("faultinject: site %s: %w", site, ErrInjected)
+		}
+		return fmt.Errorf("faultinject: site %s: %w: %w", site, ErrInjected, err)
+	}
+}

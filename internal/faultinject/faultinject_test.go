@@ -1,0 +1,165 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func armT(t *testing.T, f Fault) {
+	t.Helper()
+	disarm, err := Arm(f)
+	if err != nil {
+		t.Fatalf("Arm(%+v): %v", f, err)
+	}
+	t.Cleanup(disarm)
+}
+
+func TestDisarmedHitIsFree(t *testing.T) {
+	Reset()
+	if err := Hit("nowhere.registered"); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+}
+
+func TestArmRequiresRegistration(t *testing.T) {
+	Reset()
+	if _, err := Arm(Fault{Site: "no.such.site.ever"}); err == nil {
+		t.Fatal("arming an unregistered site succeeded")
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	Reset()
+	site := Register("test.error")
+	armT(t, Fault{Site: site, Mode: ModeError})
+	err := Hit(site)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Hit = %v, want ErrInjected", err)
+	}
+	custom := errors.New("boom")
+	armT(t, Fault{Site: site, Mode: ModeError, Err: custom})
+	err = Hit(site)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, custom) {
+		t.Fatalf("Hit = %v, want both ErrInjected and the custom error", err)
+	}
+}
+
+func TestPanicModeCarriesSite(t *testing.T) {
+	Reset()
+	site := Register("test.panic")
+	armT(t, Fault{Site: site, Mode: ModePanic})
+	defer func() {
+		r := recover()
+		ip, ok := r.(*InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %T %v, want *InjectedPanic", r, r)
+		}
+		if ip.Site != site {
+			t.Fatalf("panic site = %q, want %q", ip.Site, site)
+		}
+	}()
+	_ = Hit(site)
+	t.Fatal("Hit did not panic")
+}
+
+func TestDelayMode(t *testing.T) {
+	Reset()
+	site := Register("test.delay")
+	armT(t, Fault{Site: site, Mode: ModeDelay, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Hit(site); err != nil {
+		t.Fatalf("delay Hit returned %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay fault slept %v, want >= 30ms", d)
+	}
+}
+
+func TestSkipHitsAndTimes(t *testing.T) {
+	Reset()
+	site := Register("test.nth")
+	// Fire on the 3rd hit only (SkipHits 2, Times 1).
+	armT(t, Fault{Site: site, Mode: ModeError, SkipHits: 2, Times: 1})
+	for i := 1; i <= 5; i++ {
+		err := Hit(site)
+		if i == 3 && err == nil {
+			t.Fatalf("hit %d: fault did not fire", i)
+		}
+		if i != 3 && err != nil {
+			t.Fatalf("hit %d: unexpected fire %v", i, err)
+		}
+	}
+	if got := Fired(site); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+func TestResetAndArmedListing(t *testing.T) {
+	Reset()
+	a, b := Register("test.a"), Register("test.b")
+	armT(t, Fault{Site: a, Mode: ModeError})
+	armT(t, Fault{Site: b, Mode: ModeError})
+	if got := len(Armed()); got != 2 {
+		t.Fatalf("Armed() has %d entries, want 2", got)
+	}
+	Reset()
+	if got := len(Armed()); got != 0 {
+		t.Fatalf("after Reset, Armed() has %d entries", got)
+	}
+	if err := Hit(a); err != nil {
+		t.Fatalf("Hit after Reset fired: %v", err)
+	}
+}
+
+func TestSitesSorted(t *testing.T) {
+	Register("test.z")
+	Register("test.m")
+	ss := Sites()
+	for i := 1; i < len(ss); i++ {
+		if ss[i-1] >= ss[i] {
+			t.Fatalf("Sites not strictly sorted: %q >= %q", ss[i-1], ss[i])
+		}
+	}
+}
+
+func TestModeRoundTrip(t *testing.T) {
+	for _, m := range []Mode{ModePanic, ModeError, ModeDelay} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMode("explode"); err == nil {
+		t.Fatal("ParseMode accepted garbage")
+	}
+}
+
+// TestConcurrentHits hammers an armed site from many goroutines; the
+// counter bookkeeping must stay consistent under -race.
+func TestConcurrentHits(t *testing.T) {
+	Reset()
+	site := Register("test.concurrent")
+	armT(t, Fault{Site: site, Mode: ModeError, SkipHits: 50})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	n := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if Hit(site) != nil {
+					mu.Lock()
+					n++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n != 150 {
+		t.Fatalf("fired %d times, want 150 (200 hits - 50 skipped)", n)
+	}
+}

@@ -1,0 +1,118 @@
+package kasm_test
+
+import (
+	"testing"
+
+	"gpuscout/internal/codegen"
+	"gpuscout/internal/kasm"
+	"gpuscout/internal/sass"
+)
+
+// FuzzKasmCompile interprets the fuzz input as a program over the safe
+// builder surface (operand indices are always reduced into range, so
+// every generated program is structurally legal even when the bytes are
+// garbage) and asserts the pipeline invariants downstream: Build and
+// Compile may reject a program but must not panic, every compiled kernel
+// passes sass.Validate, and the printed SASS is a Print→Parse→Print
+// fixed point — the property the golden suite and the daemon's cubin
+// path both lean on.
+func FuzzKasmCompile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte{16, 0, 17, 1, 2, 18, 3, 19, 200, 100, 50, 25})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := kasm.NewBuilder("_Z4fuzzPfi", "sm_70", "fuzz.cu")
+		b.SetSource([]string{"__global__ void fuzz(float* p, int n) {", "}"})
+		b.NumParams(2)
+
+		// Seed pools so every op has a legal operand from byte one.
+		ptrs := []kasm.VReg{b.ParamPtr(0)}          // 64-bit pairs (addresses)
+		regs := []kasm.VReg{b.Param32(1), b.TidX()} // 32-bit scalars
+		shAddr := b.MovImm(b.AllocShared(256))
+		regs = append(regs, shAddr)
+
+		pick := func(i int, pool []kasm.VReg) kasm.VOperand {
+			return kasm.VR(pool[i%len(pool)])
+		}
+		widths := []int{4, 8, 16}
+
+		const maxOps = 64
+		ops := 0
+		for i := 0; i+2 < len(data) && ops < maxOps; i += 3 {
+			op, x, y := data[i], int(data[i+1]), int(data[i+2])
+			a, c := pick(x, regs), pick(y, regs)
+			switch op % 18 {
+			case 0:
+				regs = append(regs, b.MovImm(int64(x)<<8|int64(y)))
+			case 1:
+				regs = append(regs, b.Mov(a))
+			case 2:
+				regs = append(regs, b.IAdd(a, c))
+			case 3:
+				regs = append(regs, b.IMul(a, c))
+			case 4:
+				regs = append(regs, b.IMad(a, c, pick(x+y, regs)))
+			case 5:
+				regs = append(regs, b.Shl(a, int64(y%32)))
+			case 6:
+				regs = append(regs, b.Shr(a, int64(y%32)))
+			case 7:
+				regs = append(regs, b.And(a, c))
+			case 8:
+				regs = append(regs, b.IMin(a, c))
+			case 9:
+				regs = append(regs, b.IMax(a, c))
+			case 10:
+				regs = append(regs, b.FAdd(a, c))
+			case 11:
+				regs = append(regs, b.FMul(a, c))
+			case 12:
+				regs = append(regs, b.FFma(a, c, pick(x+y, regs)))
+			case 13:
+				regs = append(regs, b.I2F(a))
+			case 14:
+				regs = append(regs, b.F2I(a))
+			case 15:
+				base := ptrs[x%len(ptrs)]
+				w := widths[y%len(widths)]
+				d := b.Ldg(base, int64(y%64)*4, w, y%2 == 0)
+				if w == 4 {
+					regs = append(regs, d)
+				}
+			case 16:
+				base := ptrs[x%len(ptrs)]
+				b.Stg(base, int64(y%64)*4, regs[(x+y)%len(regs)], 4)
+			case 17:
+				if y%2 == 0 {
+					regs = append(regs, b.Lds(shAddr, int64(y%64)*4, 4))
+				} else {
+					b.Sts(shAddr, int64(y%64)*4, regs[(x+y)%len(regs)], 4)
+				}
+			}
+			ops++
+		}
+		b.Exit()
+
+		prog, err := b.Build()
+		if err != nil {
+			t.Skip() // structurally rejected; rejection must be an error, not a panic
+		}
+		k, err := codegen.Compile(prog, codegen.Options{})
+		if err != nil {
+			t.Skip()
+		}
+		if err := k.Validate(); err != nil {
+			t.Fatalf("compiled kernel fails validation: %v", err)
+		}
+
+		text := sass.Print(k)
+		k2, err := sass.Parse(text)
+		if err != nil {
+			t.Fatalf("printed SASS does not re-parse: %v\n%s", err, text)
+		}
+		if text2 := sass.Print(k2); text2 != text {
+			t.Fatalf("Print→Parse→Print is not a fixed point:\n--- first\n%s\n--- second\n%s", text, text2)
+		}
+	})
+}

@@ -4,8 +4,12 @@ import (
 	"fmt"
 	"sort"
 
+	"gpuscout/internal/faultinject"
 	"gpuscout/internal/gpu"
 )
+
+// siteCollect is the fault-injection site covering metric collection.
+var siteCollect = faultinject.Register("ncu.collect")
 
 // MetricSet is the outcome of one modeled ncu collection run.
 type MetricSet struct {
@@ -62,6 +66,9 @@ func (c Collector) fixedPerPass() float64 {
 // unknown metric names and on architectures ncu does not support
 // (Pascal and older — the situation GPUscout's --dry-run exists for).
 func (c Collector) Collect(ctx Context, names []string) (*MetricSet, error) {
+	if err := faultinject.Hit(siteCollect); err != nil {
+		return nil, fmt.Errorf("ncu: %w", err)
+	}
 	if !c.Arch.SupportsNCU() {
 		return nil, fmt.Errorf("ncu: architecture %s (%s) is not supported by Nsight Compute; use the static (dry-run) analysis", c.Arch.Name, c.Arch.SM)
 	}

@@ -175,6 +175,11 @@ type Report struct {
 	Samples *cupti.Report
 	Metrics *ncu.MetricSet
 
+	// Degradations is the ledger of everything this report lost to stage
+	// failures or exhausted stage budgets — empty on a clean run. A
+	// report either carries the data or an entry naming why it does not.
+	Degradations []Degradation
+
 	// Overhead accounting for the Fig. 6 analysis, in modeled SM cycles
 	// (SASS analysis time is real wall time converted at the modeled
 	// clock for comparability).

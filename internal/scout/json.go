@@ -15,6 +15,11 @@ type JSONReport struct {
 	DryRun   bool          `json:"dry_run"`
 	Findings []JSONFinding `json:"findings"`
 
+	// Degradations lists what this report lost to stage failures; absent
+	// on a clean run, so undegraded reports are byte-identical to pre-PR-5
+	// output.
+	Degradations []Degradation `json:"degradations,omitempty"`
+
 	// Dynamic data (omitted on dry runs).
 	KernelCycles float64            `json:"kernel_cycles,omitempty"`
 	Occupancy    float64            `json:"achieved_occupancy,omitempty"`
@@ -93,9 +98,10 @@ type JSONOverhead struct {
 // ToJSON converts the report to its serializable form.
 func (r *Report) ToJSON() *JSONReport {
 	out := &JSONReport{
-		Kernel: r.Kernel,
-		Arch:   r.Arch,
-		DryRun: r.DryRun,
+		Kernel:       r.Kernel,
+		Arch:         r.Arch,
+		DryRun:       r.DryRun,
+		Degradations: r.Degradations,
 	}
 	for i := range r.Findings {
 		f := &r.Findings[i]

@@ -22,6 +22,17 @@ func (r *Report) Render() string {
 	}
 	fmt.Fprintf(&b, "\n%s\n", bar)
 
+	if len(r.Degradations) > 0 {
+		fmt.Fprintf(&b, "\nDEGRADED REPORT — %d stage failure(s); results below are partial:\n", len(r.Degradations))
+		for _, d := range r.Degradations {
+			line := fmt.Sprintf("[%s/%s] %s", d.Stage, d.Kind, d.Site)
+			if d.Detail != "" {
+				line += ": " + d.Detail
+			}
+			fmt.Fprintf(&b, "  ! %s\n", wrap(line, 72, "    "))
+		}
+	}
+
 	if len(r.Findings) == 0 {
 		b.WriteString("No data-movement bottleneck patterns detected.\n")
 	}

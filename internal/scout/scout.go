@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gpuscout/internal/cupti"
+	"gpuscout/internal/faultinject"
 	"gpuscout/internal/gpu"
 	"gpuscout/internal/ncu"
 	"gpuscout/internal/sass"
@@ -39,6 +40,11 @@ type Options struct {
 	Sim sim.Config
 	// Analyses overrides the detector set (nil = AllAnalyses).
 	Analyses []Analysis
+	// Budgets splits the context deadline (when there is one) into
+	// per-stage slices so a slow stage degrades the report instead of
+	// timing out the whole job. The zero value uses DefaultStageBudgets;
+	// set Disabled to restore whole-deadline semantics.
+	Budgets StageBudgets
 }
 
 // RunFunc launches the kernel once and returns the simulation result.
@@ -62,10 +68,13 @@ func Analyze(arch gpu.Arch, k *sass.Kernel, run RunFunc, opts Options) (*Report,
 	return AnalyzeContext(context.Background(), arch, k, rc, opts)
 }
 
-// AnalyzeContext is Analyze with cancellation: it checks ctx between the
-// three pillars and hands it to run, so a cancelled or timed-out context
-// interrupts the workflow (including a long simulated launch, when run
-// forwards ctx to sim.LaunchContext) instead of abandoning it.
+// AnalyzeContext is Analyze with cancellation and fault tolerance: the
+// context deadline (when present) is split into per-stage budgets, every
+// stage runs under a panic guard, and failures degrade the report —
+// recorded in Report.Degradations — instead of abandoning it. A parse
+// failure is still fatal (there is nothing to report on); a failing or
+// slow dynamic pillar falls back to the static-only report; a panicking
+// detector drops only its own findings.
 func AnalyzeContext(ctx context.Context, arch gpu.Arch, k *sass.Kernel, run RunContextFunc, opts Options) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -77,47 +86,149 @@ func AnalyzeContext(ctx context.Context, arch gpu.Arch, k *sass.Kernel, run RunC
 	if analyses == nil {
 		analyses = AllAnalyses()
 	}
+	budgets := opts.Budgets
+	var total time.Duration
+	if deadline, ok := ctx.Deadline(); ok && !budgets.Disabled {
+		total = time.Until(deadline)
+	}
 
 	// --- Pillar 1: static SASS analysis. ---
 	start := time.Now()
-	view, err := NewKernelView(k)
-	if err != nil {
+	var staticDeadline time.Time
+	if total > 0 {
+		staticDeadline = start.Add(budgets.SliceOf(StageParse, total) + budgets.SliceOf(StageScout, total))
+	}
+	var view *KernelView
+	if err := Guard(StageParse, siteParse, func() error {
+		if err := faultinject.Hit(siteParse); err != nil {
+			return err
+		}
+		v, err := NewKernelView(k)
+		if err != nil {
+			return err
+		}
+		view = v
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	var findings []Finding
-	for _, a := range analyses {
-		findings = append(findings, a.Detect(view)...)
-	}
-	sassWall := time.Since(start)
 
 	rep := &Report{
-		Kernel:             k.Name,
-		Arch:               k.Arch,
-		DryRun:             opts.DryRun || run == nil,
-		Findings:           findings,
-		OverheadSASSCycles: sassWall.Seconds() * arch.ClockGHz * 1e9,
-		kernel:             k,
-		view:               view,
+		Kernel: k.Name,
+		Arch:   k.Arch,
+		DryRun: opts.DryRun || run == nil,
+		kernel: k,
+		view:   view,
 	}
+
+	// Per-detector isolation: a panicking detector loses its own findings
+	// and nothing else; once the static budget is spent, the remaining
+	// detectors are skipped, each loss named in the ledger.
+	for _, a := range analyses {
+		site := DetectorSite(a.Name())
+		if !staticDeadline.IsZero() && time.Now().After(staticDeadline) {
+			rep.Degradations = append(rep.Degradations, Degradation{
+				Stage: StageScout, Site: site, Kind: DegradeTimeout,
+				Detail: "detector skipped: static-stage budget exhausted",
+			})
+			continue
+		}
+		var found []Finding
+		if err := Guard(StageScout, site, func() error {
+			if err := faultinject.Hit(site); err != nil {
+				return err
+			}
+			found = a.Detect(view)
+			return nil
+		}); err != nil {
+			rep.Degradations = append(rep.Degradations, DegradationFor(StageScout, site, err, false))
+			continue
+		}
+		rep.Findings = append(rep.Findings, found...)
+	}
+	rep.OverheadSASSCycles = time.Since(start).Seconds() * arch.ClockGHz * 1e9
+
 	if rep.DryRun {
 		sortFindings(rep.Findings)
 		return rep, nil
 	}
 
+	// --- Pillars 2+3 under the sim budget slice. Any failure here —
+	// panic, error, or the slice expiring — degrades to the static-only
+	// report rather than surfacing an empty timeout, unless the *job*
+	// context itself is done (then the caller's deadline governs).
+	simCtx, cancel := ctx, context.CancelFunc(func() {})
+	if total > 0 {
+		simCtx, cancel = context.WithTimeout(ctx, budgets.SliceOf(StageSim, total))
+	}
+	err := runDynamicPillars(simCtx, arch, k, run, opts, rep)
+	cancel()
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("scout: %w", ctxErr)
+		}
+		rep.DryRun = true
+		rep.Result, rep.Samples, rep.Metrics = nil, nil, nil
+		rep.KernelCycles, rep.OverheadSamplingCycles, rep.OverheadMetricsCycles = 0, 0, 0
+		for fi := range rep.Findings {
+			rep.Findings[fi].Severity = 0
+			rep.Findings[fi].StallSummary = nil
+			rep.Findings[fi].MetricSummary = nil
+		}
+		rep.Degradations = append(rep.Degradations,
+			DegradationFor(StageSim, "sim.launch", err, simCtx.Err() != nil))
+		sortFindings(rep.Findings)
+		return rep, nil
+	}
+
+	// --- Data evaluation: correlate stalls and metrics per finding. A
+	// correlation failure leaves that one finding static-shaped.
+	for fi := range rep.Findings {
+		f := &rep.Findings[fi]
+		if err := Guard(StageScout, siteCorrelate, func() error {
+			if err := faultinject.Hit(siteCorrelate); err != nil {
+				return err
+			}
+			correlate(f, rep)
+			return nil
+		}); err != nil {
+			f.Severity = 0
+			f.StallSummary = nil
+			f.MetricSummary = nil
+			rep.Degradations = append(rep.Degradations, DegradationFor(StageScout, siteCorrelate, err, false))
+		}
+	}
+	sortFindings(rep.Findings)
+	return rep, nil
+}
+
+// runDynamicPillars executes the warp-stall sampling and metric
+// collection pillars, filling rep on success. Each step runs under its
+// own guard so the returned error names the failing site.
+func runDynamicPillars(ctx context.Context, arch gpu.Arch, k *sass.Kernel, run RunContextFunc, opts Options, rep *Report) error {
 	// --- Pillar 2: warp-stall sampling (CUPTI). ---
-	res, err := run(ctx, opts.Sim)
-	if err != nil {
-		return nil, fmt.Errorf("scout: sampled run: %w", err)
+	var res *sim.Result
+	if err := Guard(StageSim, "sim.launch", func() error {
+		r, err := run(ctx, opts.Sim)
+		if err != nil {
+			return err
+		}
+		res = r
+		return ctx.Err()
+	}); err != nil {
+		return err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("scout: %w", err)
-	}
-	samples, err := cupti.Collect(k, res, cupti.Config{PeriodCycles: opts.SamplingPeriod})
-	if err != nil {
-		return nil, fmt.Errorf("scout: %w", err)
+	if err := Guard(StageSim, "cupti.collect", func() error {
+		samples, err := cupti.Collect(k, res, cupti.Config{PeriodCycles: opts.SamplingPeriod})
+		if err != nil {
+			return err
+		}
+		rep.Samples = samples
+		return nil
+	}); err != nil {
+		return err
 	}
 	rep.Result = res
-	rep.Samples = samples
 	rep.KernelCycles = res.Cycles
 	rep.OverheadSamplingCycles = cupti.CollectionCycles(res)
 
@@ -129,28 +240,23 @@ func AnalyzeContext(ctx context.Context, arch gpu.Arch, k *sass.Kernel, run RunC
 	for _, n := range names {
 		seen[n] = true
 	}
-	for fi := range findings {
-		for _, n := range append(append([]string{}, findings[fi].RelevantMetrics...), findings[fi].CautionMetrics...) {
+	for fi := range rep.Findings {
+		for _, n := range append(append([]string{}, rep.Findings[fi].RelevantMetrics...), rep.Findings[fi].CautionMetrics...) {
 			if !seen[n] {
 				seen[n] = true
 				names = append(names, n)
 			}
 		}
 	}
-	collector := ncu.Collector{Arch: arch}
-	ms, err := collector.Collect(ncu.Context{Kernel: k, Result: res}, names)
-	if err != nil {
-		return nil, fmt.Errorf("scout: %w", err)
-	}
-	rep.Metrics = ms
-	rep.OverheadMetricsCycles = ms.OverheadCycles
-
-	// --- Data evaluation: correlate stalls and metrics per finding. ---
-	for fi := range rep.Findings {
-		correlate(&rep.Findings[fi], rep)
-	}
-	sortFindings(rep.Findings)
-	return rep, nil
+	return Guard(StageSim, "ncu.collect", func() error {
+		ms, err := ncu.Collector{Arch: arch}.Collect(ncu.Context{Kernel: k, Result: res}, names)
+		if err != nil {
+			return err
+		}
+		rep.Metrics = ms
+		rep.OverheadMetricsCycles = ms.OverheadCycles
+		return nil
+	})
 }
 
 // baseMetrics is the always-collected minimum set: the kernel-wide data

@@ -1,0 +1,275 @@
+package scout
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+
+	"gpuscout/internal/faultinject"
+)
+
+// Pipeline stage names, shared by StageError, Degradation, StageBudgets
+// and the service metrics. "parse" covers kernel resolution (SASS parse,
+// cubin decode, workload build, KernelView construction); "scout" the
+// static detector passes; "sim" the dynamic pillars (simulated launch,
+// PC-sampling and metric collection); "verify" the advisor's
+// counterfactual re-runs.
+const (
+	StageParse  = "parse"
+	StageScout  = "scout"
+	StageSim    = "sim"
+	StageVerify = "verify"
+)
+
+// StageError is a typed, site-attributed pipeline failure: which stage
+// died, at which instrumented site, and whether it was a recovered panic
+// (carrying the trimmed stack) or an ordinary error.
+type StageError struct {
+	// Stage is one of StageParse/StageScout/StageSim/StageVerify.
+	Stage string
+	// Site names the instrumented location, e.g. "cubin.decode" or
+	// "scout.detector.bank_conflicts".
+	Site string
+	// Err is the underlying error (for a panic, a synthesized one).
+	Err error
+	// PanicValue is non-nil when the error was converted from a panic.
+	PanicValue any
+	// Stack holds the goroutine stack captured at recover time.
+	Stack []byte
+}
+
+func (e *StageError) Error() string {
+	if e.PanicValue != nil {
+		return fmt.Sprintf("stage %s: panic at %s: %v", e.Stage, e.Site, e.PanicValue)
+	}
+	return fmt.Sprintf("stage %s: %s: %v", e.Stage, e.Site, e.Err)
+}
+
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Transient reports whether retrying the same input might succeed: a
+// recovered panic (unless caused by context expiry) or an injected
+// fault. Deterministic input errors — malformed SASS, an undecodable
+// cubin — are not transient; retrying them only re-burns a worker.
+func (e *StageError) Transient() bool {
+	if e.Err != nil && (errors.Is(e.Err, context.Canceled) || errors.Is(e.Err, context.DeadlineExceeded)) {
+		return false
+	}
+	return e.PanicValue != nil || errors.Is(e.Err, faultinject.ErrInjected)
+}
+
+// TransientError reports whether err is (or wraps) a transient
+// StageError — the pool's retry predicate.
+func TransientError(err error) bool {
+	var se *StageError
+	return errors.As(err, &se) && se.Transient()
+}
+
+// newPanicError converts a recovered panic value into a StageError. An
+// injected panic names its own site; real panics are attributed to the
+// site the guard was protecting.
+func newPanicError(stage, site string, r any) *StageError {
+	if ip, ok := r.(*faultinject.InjectedPanic); ok {
+		site = ip.Site
+	}
+	return &StageError{
+		Stage:      stage,
+		Site:       site,
+		Err:        fmt.Errorf("panic: %v", r),
+		PanicValue: r,
+		Stack:      debug.Stack(),
+	}
+}
+
+// guard runs fn, converting a panic into a *StageError attributed to
+// (stage, site). Non-panic errors returned by fn that are not already
+// StageErrors are wrapped so every failure path carries its site.
+func Guard(stage, site string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(stage, site, r)
+		}
+	}()
+	if err := fn(); err != nil {
+		var se *StageError
+		if errors.As(err, &se) {
+			return err
+		}
+		return &StageError{Stage: stage, Site: site, Err: err}
+	}
+	return nil
+}
+
+// Degradation records one thing a report lost on its way out: the stage
+// and site that failed, how ("panic", "timeout", "error"), and what the
+// loss means for the reader. The ledger is the contract that nothing is
+// ever dropped silently — a report either carries the data or an entry
+// naming exactly why it does not.
+type Degradation struct {
+	Stage  string `json:"stage"`
+	Site   string `json:"site"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Degradation kinds.
+const (
+	DegradePanic   = "panic"
+	DegradeTimeout = "timeout"
+	DegradeError   = "error"
+)
+
+// degradationFrom classifies a stage failure into a ledger entry.
+// stageCtxExpired tells the classifier the stage's own deadline (not the
+// job's) is what expired.
+func DegradationFor(stage, site string, err error, stageCtxExpired bool) Degradation {
+	d := Degradation{Stage: stage, Site: site, Kind: DegradeError}
+	var se *StageError
+	if errors.As(err, &se) {
+		d.Site = se.Site
+		if se.PanicValue != nil {
+			d.Kind = DegradePanic
+		}
+	}
+	if d.Kind != DegradePanic && (stageCtxExpired || errors.Is(err, context.DeadlineExceeded)) {
+		d.Kind = DegradeTimeout
+	}
+	d.Detail = err.Error()
+	return d
+}
+
+// StageBudgets splits a job's deadline into per-stage slices, as
+// fractions of the total budget. Each stage's slice is measured from the
+// moment the stage starts, so time an early stage leaves unused rolls
+// forward; the job deadline still caps everything. The zero value means
+// "use the defaults" (parse 5% / sim 55% / scout 15% / verify 25%);
+// Disabled turns staged degradation off so a slow simulation consumes
+// the whole job budget and times the job out, pre-PR-5 style.
+type StageBudgets struct {
+	Parse  float64
+	Sim    float64
+	Scout  float64
+	Verify float64
+	// Disabled turns staged deadlines off entirely.
+	Disabled bool
+}
+
+// DefaultStageBudgets returns the standard split.
+func DefaultStageBudgets() StageBudgets {
+	return StageBudgets{Parse: 0.05, Sim: 0.55, Scout: 0.15, Verify: 0.25}
+}
+
+// normalized resolves the zero value to the defaults and rescales the
+// fractions to sum to 1. Negative fractions are clamped to 0.
+func (b StageBudgets) normalized() StageBudgets {
+	if b.Disabled {
+		return b
+	}
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	b.Parse, b.Sim, b.Scout, b.Verify = clamp(b.Parse), clamp(b.Sim), clamp(b.Scout), clamp(b.Verify)
+	sum := b.Parse + b.Sim + b.Scout + b.Verify
+	if sum == 0 {
+		return DefaultStageBudgets()
+	}
+	b.Parse /= sum
+	b.Sim /= sum
+	b.Scout /= sum
+	b.Verify /= sum
+	return b
+}
+
+// SliceOf returns the stage's share of a total job budget (zero when
+// staged deadlines are disabled or the stage is unknown).
+func (b StageBudgets) SliceOf(stage string, total time.Duration) time.Duration {
+	if b.Disabled || total <= 0 {
+		return 0
+	}
+	n := b.normalized()
+	var frac float64
+	switch stage {
+	case StageParse:
+		frac = n.Parse
+	case StageSim:
+		frac = n.Sim
+	case StageScout:
+		frac = n.Scout
+	case StageVerify:
+		frac = n.Verify
+	}
+	return time.Duration(frac * float64(total))
+}
+
+// String renders the budgets in the -stage-budgets flag syntax.
+func (b StageBudgets) String() string {
+	if b.Disabled {
+		return "off"
+	}
+	n := b.normalized()
+	pct := func(v float64) string {
+		// Precision 10 hides normalization round-off (55.00000000000001).
+		return strconv.FormatFloat(v*100, 'g', 10, 64)
+	}
+	return pct(n.Parse) + "," + pct(n.Sim) + "," + pct(n.Scout) + "," + pct(n.Verify)
+}
+
+// ParseStageBudgets parses the -stage-budgets flag: "off" disables
+// staged degradation; otherwise four comma-separated non-negative
+// weights for parse,sim,scout,verify (percentages or fractions — only
+// the ratio matters), e.g. "5,55,15,25". An empty string selects the
+// defaults.
+func ParseStageBudgets(s string) (StageBudgets, error) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "":
+		return StageBudgets{}, nil
+	case "off", "none", "disabled":
+		return StageBudgets{Disabled: true}, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return StageBudgets{}, fmt.Errorf("stage budgets %q: want four comma-separated weights (parse,sim,scout,verify) or \"off\"", s)
+	}
+	vals := make([]float64, 4)
+	sum := 0.0
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return StageBudgets{}, fmt.Errorf("stage budgets %q: weight %d: %w", s, i+1, err)
+		}
+		if v < 0 {
+			return StageBudgets{}, fmt.Errorf("stage budgets %q: weight %d is negative", s, i+1)
+		}
+		vals[i] = v
+		sum += v
+	}
+	if sum == 0 {
+		return StageBudgets{}, fmt.Errorf("stage budgets %q: all weights are zero", s)
+	}
+	return StageBudgets{Parse: vals[0], Sim: vals[1], Scout: vals[2], Verify: vals[3]}, nil
+}
+
+// Fault-injection sites owned by the scout pipeline. The per-detector
+// sites are registered in an init in scout.go (they derive from the
+// detector set).
+var (
+	siteParse     = faultinject.Register("scout.parse")
+	siteCorrelate = faultinject.Register("scout.correlate")
+)
+
+// DetectorSite names the fault-injection site of one detector.
+func DetectorSite(name string) string { return "scout.detector." + name }
+
+func init() {
+	for _, a := range AllAnalyses() {
+		faultinject.Register(DetectorSite(a.Name()))
+	}
+}

@@ -1,0 +1,207 @@
+package scout
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	_ "gpuscout/internal/cubin" // registers cubin.decode for TestDetectorSitesRegistered
+	"gpuscout/internal/faultinject"
+)
+
+func TestGuardPassesThroughSuccess(t *testing.T) {
+	if err := Guard(StageScout, "x", func() error { return nil }); err != nil {
+		t.Fatalf("Guard on success: %v", err)
+	}
+}
+
+func TestGuardConvertsPanic(t *testing.T) {
+	err := Guard(StageScout, "scout.detector.demo", func() error {
+		panic("boom")
+	})
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("Guard returned %T, want *StageError", err)
+	}
+	if se.Stage != StageScout || se.Site != "scout.detector.demo" {
+		t.Errorf("attribution = %s/%s", se.Stage, se.Site)
+	}
+	if se.PanicValue != "boom" {
+		t.Errorf("PanicValue = %v", se.PanicValue)
+	}
+	if len(se.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if !strings.Contains(se.Error(), "panic at scout.detector.demo: boom") {
+		t.Errorf("Error() = %q", se.Error())
+	}
+	if !se.Transient() {
+		t.Error("a real panic should be transient")
+	}
+}
+
+func TestGuardReattributesInjectedPanic(t *testing.T) {
+	err := Guard(StageSim, "outer.site", func() error {
+		panic(&faultinject.InjectedPanic{Site: "inner.site"})
+	})
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("Guard returned %T", err)
+	}
+	if se.Site != "inner.site" {
+		t.Errorf("Site = %s, want the injected fault's own site", se.Site)
+	}
+}
+
+func TestGuardWrapsPlainError(t *testing.T) {
+	inner := errors.New("bad input")
+	err := Guard(StageParse, "cubin.decode", func() error { return inner })
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("Guard returned %T", err)
+	}
+	if se.Site != "cubin.decode" || !errors.Is(err, inner) {
+		t.Errorf("wrap lost site or cause: %v", err)
+	}
+	if se.Transient() {
+		t.Error("a deterministic input error must not be transient")
+	}
+
+	// An error that is already a StageError keeps its original attribution.
+	err2 := Guard(StageScout, "outer", func() error { return se })
+	var se2 *StageError
+	if !errors.As(err2, &se2) || se2.Site != "cubin.decode" {
+		t.Errorf("double-wrap changed attribution: %v", err2)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain error", errors.New("x"), false},
+		{"plain stage error", &StageError{Stage: StageSim, Site: "s", Err: errors.New("x")}, false},
+		{"panic", &StageError{Stage: StageSim, Site: "s", Err: errors.New("panic: x"), PanicValue: "x"}, true},
+		{"panic caused by cancel", &StageError{Stage: StageSim, Site: "s", Err: fmt.Errorf("panic: %w", context.Canceled), PanicValue: context.Canceled}, false},
+		{"injected fault", &StageError{Stage: StageSim, Site: "s", Err: fmt.Errorf("faultinject: %w", faultinject.ErrInjected)}, true},
+		{"deadline", &StageError{Stage: StageSim, Site: "s", Err: context.DeadlineExceeded}, false},
+		{"wrapped transient", fmt.Errorf("job: %w", &StageError{Stage: StageSim, Site: "s", Err: errors.New("p"), PanicValue: "p"}), true},
+	}
+	for _, tc := range cases {
+		if got := TransientError(tc.err); got != tc.want {
+			t.Errorf("%s: TransientError = %t, want %t", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDegradationFor(t *testing.T) {
+	se := &StageError{Stage: StageScout, Site: "scout.detector.x", Err: errors.New("p"), PanicValue: "p"}
+	d := DegradationFor(StageScout, "fallback.site", se, false)
+	if d.Kind != DegradePanic || d.Site != "scout.detector.x" {
+		t.Errorf("panic entry = %+v", d)
+	}
+	// Panic classification wins even if the stage deadline also expired.
+	d = DegradationFor(StageScout, "fallback.site", se, true)
+	if d.Kind != DegradePanic {
+		t.Errorf("panic+expired entry = %+v", d)
+	}
+	d = DegradationFor(StageSim, "sim.launch", context.DeadlineExceeded, false)
+	if d.Kind != DegradeTimeout {
+		t.Errorf("deadline entry = %+v", d)
+	}
+	d = DegradationFor(StageSim, "sim.launch", errors.New("broke"), true)
+	if d.Kind != DegradeTimeout {
+		t.Errorf("expired-slice entry = %+v", d)
+	}
+	d = DegradationFor(StageSim, "sim.launch", errors.New("broke"), false)
+	if d.Kind != DegradeError || d.Detail != "broke" {
+		t.Errorf("plain entry = %+v", d)
+	}
+}
+
+func TestParseStageBudgets(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string // expected String() of the parsed value
+		wantErr bool
+	}{
+		{"", DefaultStageBudgets().String(), false},
+		{"off", "off", false},
+		{"none", "off", false},
+		{"disabled", "off", false},
+		{"5,55,15,25", "5,55,15,25", false},
+		{" 5, 55 ,15,25 ", "5,55,15,25", false},
+		{"0.05,0.55,0.15,0.25", "5,55,15,25", false}, // only the ratio matters
+		{"1,1,1,1", "25,25,25,25", false},
+		{"10,55,15", "", true},      // three weights
+		{"10,55,15,25,5", "", true}, // five weights
+		{"10,nope,15,25", "", true}, // not a number
+		{"10,-55,15,25", "", true},  // negative
+		{"0,0,0,0", "", true},       // all zero
+	}
+	for _, tc := range cases {
+		b, err := ParseStageBudgets(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseStageBudgets(%q) = %v, want error", tc.in, b)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseStageBudgets(%q): %v", tc.in, err)
+			continue
+		}
+		if got := b.String(); got != tc.want {
+			t.Errorf("ParseStageBudgets(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestStageBudgetSlices(t *testing.T) {
+	b := DefaultStageBudgets()
+	total := 1000 * time.Millisecond
+	if got := b.SliceOf(StageSim, total); got != 550*time.Millisecond {
+		t.Errorf("sim slice = %v, want 550ms", got)
+	}
+	if got := b.SliceOf(StageVerify, total); got != 250*time.Millisecond {
+		t.Errorf("verify slice = %v, want 250ms", got)
+	}
+	if got := (StageBudgets{Disabled: true}).SliceOf(StageSim, total); got != 0 {
+		t.Errorf("disabled slice = %v, want 0", got)
+	}
+	if got := b.SliceOf("bogus", total); got != 0 {
+		t.Errorf("unknown-stage slice = %v, want 0", got)
+	}
+	// The zero value behaves as the defaults.
+	if got := (StageBudgets{}).SliceOf(StageSim, total); got != 550*time.Millisecond {
+		t.Errorf("zero-value sim slice = %v, want 550ms", got)
+	}
+	// Weights rescale: sim gets everything when the others are zero.
+	if got := (StageBudgets{Sim: 3}).SliceOf(StageSim, total); got != total {
+		t.Errorf("sim-only slice = %v, want %v", got, total)
+	}
+}
+
+func TestDetectorSitesRegistered(t *testing.T) {
+	sites := faultinject.Sites()
+	have := make(map[string]bool, len(sites))
+	for _, s := range sites {
+		have[s] = true
+	}
+	for _, a := range AllAnalyses() {
+		if site := DetectorSite(a.Name()); !have[site] {
+			t.Errorf("detector site %s not registered", site)
+		}
+	}
+	for _, s := range []string{"scout.parse", "scout.correlate", "sim.launch", "cupti.collect", "ncu.collect", "cubin.decode"} {
+		if !have[s] {
+			t.Errorf("site %s not registered", s)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrQuarantined is returned by Submit for an input fingerprint whose
+// recent attempts all failed: the per-fingerprint circuit breaker is
+// open, and re-running a poison input would only burn another worker.
+// The HTTP layer maps it to 422 with the prior failure message.
+var ErrQuarantined = errors.New("service: input quarantined")
+
+// fingerprint identifies the analysis input for quarantine purposes:
+// everything that determines what the pipeline will execute, nothing
+// that merely tunes how (timeout, sim_workers, sampling period).
+func (r *AnalyzeRequest) fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "workload=%s\x00scale=%d\x00sass=%s\x00cubin=%x\x00kernel=%s\x00arch=%s\x00dry=%t\x00verify=%t",
+		r.Workload, r.Scale, r.SASS, r.Cubin, r.Kernel, r.Arch, r.DryRun, r.Verify)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// breaker is the per-fingerprint circuit breaker behind quarantine: a
+// fingerprint that reaches `after` consecutive failures is rejected at
+// Submit until `cooldown` has passed since the breaker opened; the first
+// submission after the cool-down is admitted as a probe (half-open), and
+// one success clears the entry entirely.
+type breaker struct {
+	after    int
+	cooldown time.Duration
+
+	mu      sync.Mutex
+	entries map[string]*breakerEntry
+}
+
+type breakerEntry struct {
+	failures int
+	lastErr  string
+	openedAt time.Time
+}
+
+func newBreaker(after int, cooldown time.Duration) *breaker {
+	return &breaker{after: after, cooldown: cooldown, entries: map[string]*breakerEntry{}}
+}
+
+// check admits or rejects a submission for fp. A rejection error wraps
+// ErrQuarantined and carries the prior failure.
+func (b *breaker) check(fp string) error {
+	if b.after <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[fp]
+	if !ok || e.failures < b.after {
+		return nil
+	}
+	if time.Since(e.openedAt) >= b.cooldown {
+		// Half-open: admit one probe. Drop back to just below the
+		// threshold so another failure re-opens immediately.
+		e.failures = b.after - 1
+		return nil
+	}
+	return fmt.Errorf("%w: %d consecutive failures, last: %s (retry after cool-down)",
+		ErrQuarantined, e.failures, e.lastErr)
+}
+
+// recordFailure counts one failed execution of fp.
+func (b *breaker) recordFailure(fp, errMsg string) {
+	if b.after <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[fp]
+	if !ok {
+		e = &breakerEntry{}
+		b.entries[fp] = e
+	}
+	e.failures++
+	e.lastErr = errMsg
+	if e.failures >= b.after {
+		e.openedAt = time.Now()
+	}
+}
+
+// recordSuccess clears fp's failure history.
+func (b *breaker) recordSuccess(fp string) {
+	if b.after <= 0 {
+		return
+	}
+	b.mu.Lock()
+	delete(b.entries, fp)
+	b.mu.Unlock()
+}
+
+// openCount reports how many fingerprints are currently quarantined.
+func (b *breaker) openCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, e := range b.entries {
+		if e.failures >= b.after && time.Since(e.openedAt) < b.cooldown {
+			n++
+		}
+	}
+	return n
+}
+
+// backoffDelay is the capped-exponential-with-jitter retry schedule:
+// base·2^(attempt-1), capped at cap, with the upper half jittered so
+// retried jobs don't stampede the pool in lockstep.
+func backoffDelay(base, cap time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base << (attempt - 1)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// durationRing remembers the last N job durations for the Retry-After
+// estimate.
+type durationRing struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	n    int
+}
+
+func newDurationRing(size int) *durationRing {
+	return &durationRing{buf: make([]time.Duration, size)}
+}
+
+func (r *durationRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// mean returns the average recorded duration (0 with no samples).
+func (r *durationRing) mean() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for i := 0; i < r.n; i++ {
+		sum += r.buf[i]
+	}
+	return sum / time.Duration(r.n)
+}

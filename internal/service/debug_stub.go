@@ -1,0 +1,9 @@
+//go:build !faultinject
+
+package service
+
+import "net/http"
+
+// registerDebugHandlers is a no-op in production builds: the fault
+// injection debug API only exists under the `faultinject` build tag.
+func (s *Service) registerDebugHandlers(_ *http.ServeMux) {}

@@ -114,20 +114,24 @@ type Job struct {
 	// ID is the job's handle, e.g. "j00000007".
 	ID string
 
-	req    AnalyzeRequest
-	ctx    context.Context
-	cancel context.CancelFunc
-	done   chan struct{}
+	req         AnalyzeRequest
+	ctx         context.Context
+	cancel      context.CancelFunc
+	done        chan struct{}
+	fingerprint string        // quarantine identity of the input
+	timeout     time.Duration // the job's whole deadline budget
 
-	mu        sync.Mutex
-	state     State
-	report    []byte // marshaled report JSON, set on StateDone
-	errMsg    string
-	cacheHit  bool
-	userAbort bool // Cancel() was called (vs deadline expiry)
-	created   time.Time
-	started   time.Time
-	finished  time.Time
+	mu           sync.Mutex
+	state        State
+	report       []byte // marshaled report JSON, set on StateDone
+	errMsg       string
+	cacheHit     bool
+	userAbort    bool // Cancel() was called (vs deadline expiry)
+	attempts     int  // execution attempts (>1 after a transient retry)
+	degradations int  // ledger entries in the shipped report
+	created      time.Time
+	started      time.Time
+	finished     time.Time
 }
 
 func newJob(id string, req AnalyzeRequest, ctx context.Context, cancel context.CancelFunc) *Job {
@@ -160,6 +164,18 @@ func (j *Job) markRunning() {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *Job) setAttempts(n int) {
+	j.mu.Lock()
+	j.attempts = n
+	j.mu.Unlock()
+}
+
+func (j *Job) setDegradations(n int) {
+	j.mu.Lock()
+	j.degradations = n
 	j.mu.Unlock()
 }
 
@@ -197,17 +213,21 @@ func (j *Job) interrupted() State {
 
 // Status is the wire form of a job, served by GET /v1/jobs/{id}.
 type Status struct {
-	ID         string          `json:"id"`
-	State      State           `json:"state"`
-	Workload   string          `json:"workload,omitempty"`
-	Kernel     string          `json:"kernel,omitempty"`
-	Arch       string          `json:"arch,omitempty"`
-	CacheHit   bool            `json:"cache_hit"`
-	Error      string          `json:"error,omitempty"`
-	CreatedAt  time.Time       `json:"created_at"`
-	StartedAt  *time.Time      `json:"started_at,omitempty"`
-	FinishedAt *time.Time      `json:"finished_at,omitempty"`
-	Report     json.RawMessage `json:"report,omitempty"`
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	Workload string `json:"workload,omitempty"`
+	Kernel   string `json:"kernel,omitempty"`
+	Arch     string `json:"arch,omitempty"`
+	CacheHit bool   `json:"cache_hit"`
+	Error    string `json:"error,omitempty"`
+	// Attempts is set past 1 when transient failures were retried.
+	Attempts int `json:"attempts,omitempty"`
+	// Degradations counts the report's ledger entries (0 = clean run).
+	Degradations int             `json:"degradations,omitempty"`
+	CreatedAt    time.Time       `json:"created_at"`
+	StartedAt    *time.Time      `json:"started_at,omitempty"`
+	FinishedAt   *time.Time      `json:"finished_at,omitempty"`
+	Report       json.RawMessage `json:"report,omitempty"`
 }
 
 // Snapshot returns the job's current wire form. The Report field aliases
@@ -216,15 +236,17 @@ func (j *Job) Snapshot() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID:        j.ID,
-		State:     j.state,
-		Workload:  j.req.Workload,
-		Kernel:    j.req.Kernel,
-		Arch:      j.req.Arch,
-		CacheHit:  j.cacheHit,
-		Error:     j.errMsg,
-		CreatedAt: j.created,
-		Report:    j.report,
+		ID:           j.ID,
+		State:        j.state,
+		Workload:     j.req.Workload,
+		Kernel:       j.req.Kernel,
+		Arch:         j.req.Arch,
+		CacheHit:     j.cacheHit,
+		Error:        j.errMsg,
+		Attempts:     j.attempts,
+		Degradations: j.degradations,
+		CreatedAt:    j.created,
+		Report:       j.report,
 	}
 	if !j.started.IsZero() {
 		t := j.started

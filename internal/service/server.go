@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 
 	"gpuscout/internal/workloads"
 )
@@ -14,8 +15,12 @@ import (
 //	GET    /v1/jobs/{id}        job status (+ report JSON when done)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/workloads        list built-in workload names
-//	GET    /healthz             liveness probe
+//	GET    /healthz             liveness probe (200 while the process runs)
+//	GET    /readyz              readiness probe (503 when saturated or draining)
 //	GET    /metrics             Prometheus text-format metrics
+//
+// Builds tagged `faultinject` additionally expose /debug/faultinject for
+// arming chaos faults (absent from production builds).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
@@ -23,7 +28,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.registerDebugHandlers(mux)
 	return mux
 }
 
@@ -58,12 +65,18 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		// Backpressure: the bounded queue is at capacity. Tell the client
-		// when to come back instead of buffering unboundedly.
-		w.Header().Set("Retry-After", "1")
+		// when to come back — estimated from the queue depth and the mean
+		// recent job duration — instead of buffering unboundedly.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, ErrQuarantined):
+		// The input's circuit breaker is open: answer immediately with
+		// the prior failure instead of occupying a worker.
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -125,11 +138,31 @@ func (s *Service) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"workloads": workloads.Names()})
 }
 
+// handleHealthz is the liveness probe: 200 as long as the process can
+// serve HTTP at all, even while draining. Restart decisions key on this.
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": s.Uptime().Seconds(),
 		"queue_depth":    s.pool.depth(),
+	})
+}
+
+// handleReadyz is the readiness probe: 503 while the queue is saturated
+// or shutdown has begun, so load balancers stop routing before requests
+// start failing. Routing decisions key on this.
+func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ready, reason := s.Ready()
+	code := http.StatusOK
+	status := "ready"
+	if !ready {
+		code = http.StatusServiceUnavailable
+		status = "not ready"
+	}
+	writeJSON(w, code, map[string]any{
+		"status":      status,
+		"reason":      reason,
+		"queue_depth": s.pool.depth(),
 	})
 }
 

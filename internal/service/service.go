@@ -13,7 +13,9 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -21,6 +23,7 @@ import (
 
 	"gpuscout/internal/advisor"
 	"gpuscout/internal/cubin"
+	"gpuscout/internal/faultinject"
 	"gpuscout/internal/gpu"
 	"gpuscout/internal/sass"
 	"gpuscout/internal/scout"
@@ -47,6 +50,26 @@ type Config struct {
 	// MaxJobsRetained caps how many finished jobs are kept for
 	// GET /v1/jobs/{id} before the oldest are pruned (default 1024).
 	MaxJobsRetained int
+	// StageBudgets splits each job's timeout across pipeline stages so a
+	// slow stage degrades the report instead of timing the job out. The
+	// zero value applies scout.DefaultStageBudgets (parse 5% / sim 55% /
+	// scout 15% / verify 25%); set Disabled for whole-deadline semantics.
+	StageBudgets scout.StageBudgets
+	// RetryAttempts is the total number of execution attempts for a job
+	// whose failure is transient — a recovered panic or injected fault
+	// (default 2; 1 disables retrying).
+	RetryAttempts int
+	// RetryBackoff is the base delay before a retry; attempt n waits
+	// base·2^(n-1) capped at 2s, upper half jittered (default 100ms).
+	RetryBackoff time.Duration
+	// QuarantineAfter opens the per-fingerprint circuit breaker after
+	// this many consecutive job failures, so poison inputs are rejected
+	// at Submit instead of re-burning workers (default 2; negative
+	// disables quarantine).
+	QuarantineAfter int
+	// QuarantineCooldown is how long an open breaker rejects a
+	// fingerprint before admitting a probe attempt (default 30s).
+	QuarantineCooldown time.Duration
 	// SimWorkers is the default per-launch simulation parallelism
 	// (sim.Config.Workers) for jobs that don't set sim_workers. The
 	// default is 1: the pool already runs Workers jobs concurrently, so
@@ -82,16 +105,33 @@ func (c *Config) applyDefaults() {
 	if c.SimWorkers <= 0 {
 		c.SimWorkers = 1
 	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 2
+	} else if c.QuarantineAfter < 0 {
+		c.QuarantineAfter = 0 // disabled
+	}
+	if c.QuarantineCooldown <= 0 {
+		c.QuarantineCooldown = 30 * time.Second
+	}
 }
 
 // Service is the gpuscoutd core, independent of HTTP: Submit feeds the
 // queue, Handler (server.go) wraps it for the wire.
 type Service struct {
-	cfg   Config
-	pool  *pool
-	cache *reportCache
-	reg   *Registry
-	start time.Time
+	cfg       Config
+	pool      *pool
+	cache     *reportCache
+	reg       *Registry
+	start     time.Time
+	breaker   *breaker
+	durations *durationRing
+	draining  atomic.Bool // readiness flipped off before shutdown
 
 	nextID atomic.Uint64
 
@@ -109,17 +149,26 @@ type Service struct {
 	simWall       *Histogram
 	simSpeedup    *Histogram
 	verifications map[scout.Verdict]*Counter
+	stagePanics   map[string]*Counter
+	retries       *Counter
+	quarantined   *Counter
+
+	degradedMu sync.Mutex
+	degraded   map[string]*Counter // gpuscoutd_degraded_reports_total, by kind
 }
 
 // New builds a Service and starts its worker pool.
 func New(cfg Config) (*Service, error) {
 	cfg.applyDefaults()
 	s := &Service{
-		cfg:   cfg,
-		cache: newReportCache(cfg.CacheEntries),
-		reg:   NewRegistry(),
-		start: time.Now(),
-		jobs:  map[string]*Job{},
+		cfg:       cfg,
+		cache:     newReportCache(cfg.CacheEntries),
+		reg:       NewRegistry(),
+		start:     time.Now(),
+		jobs:      map[string]*Job{},
+		breaker:   newBreaker(cfg.QuarantineAfter, cfg.QuarantineCooldown),
+		durations: newDurationRing(32),
+		degraded:  map[string]*Counter{},
 	}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.execute)
 
@@ -161,7 +210,43 @@ func New(cfg Config) (*Service, error) {
 	s.simSpeedup = r.NewHistogram("gpuscoutd_sim_speedup",
 		"Achieved parallel speedup per simulated launch (aggregate per-SM time over wall time).",
 		[]float64{1, 1.25, 1.5, 2, 3, 4, 6, 8, 12, 16})
+	s.stagePanics = map[string]*Counter{}
+	for _, stage := range []string{scout.StageParse, scout.StageScout, scout.StageSim, scout.StageVerify} {
+		s.stagePanics[stage] = r.NewCounter("gpuscoutd_stage_panics_total",
+			"Panics recovered inside the pipeline, by stage.", Label{"stage", stage})
+	}
+	s.retries = r.NewCounter("gpuscoutd_retries_total",
+		"Job attempts retried after a transient stage failure.")
+	s.quarantined = r.NewCounter("gpuscoutd_quarantined_total",
+		"Submissions rejected because the input fingerprint is quarantined.")
+	r.NewGaugeFunc("gpuscoutd_quarantine_open",
+		"Input fingerprints currently held by the circuit breaker.",
+		func() float64 { return float64(s.breaker.openCount()) })
+	// Pre-register the common degraded-report kinds so the series render
+	// from zero; rarer kinds appear on first use.
+	for _, kind := range []string{
+		"sim_timeout", "sim_panic", "sim_error",
+		"scout_timeout", "scout_panic", "scout_error",
+		"verify_timeout", "verify_panic", "verify_error",
+	} {
+		s.degradedCounter(kind)
+	}
 	return s, nil
+}
+
+// degradedCounter finds or registers the degraded-report counter for one
+// "<stage>_<kind>" label value.
+func (s *Service) degradedCounter(kind string) *Counter {
+	s.degradedMu.Lock()
+	defer s.degradedMu.Unlock()
+	c, ok := s.degraded[kind]
+	if !ok {
+		c = s.reg.NewCounter("gpuscoutd_degraded_reports_total",
+			"Reports shipped with a degradation ledger, by stage_kind.",
+			Label{"kind", kind})
+		s.degraded[kind] = c
+	}
+	return c
 }
 
 // Metrics exposes the registry (for /metrics and tests).
@@ -171,14 +256,51 @@ func (s *Service) Metrics() *Registry { return s.reg }
 func (s *Service) Uptime() time.Duration { return time.Since(s.start) }
 
 // Close stops accepting jobs, cancels everything queued or running, and
-// waits for the workers to drain.
+// waits for the workers to drain. Readiness flips off first so a load
+// balancer stops routing before the queue starts rejecting.
 func (s *Service) Close() {
+	s.BeginShutdown()
 	s.jobsMu.Lock()
 	for _, j := range s.jobs {
 		j.Cancel()
 	}
 	s.jobsMu.Unlock()
 	s.pool.shutdown()
+}
+
+// BeginShutdown flips /readyz to 503 without stopping work: the graceful
+// shutdown sequence is BeginShutdown → drain the HTTP server → Close.
+func (s *Service) BeginShutdown() { s.draining.Store(true) }
+
+// Ready reports whether the service should receive new traffic, with the
+// reason when it should not.
+func (s *Service) Ready() (bool, string) {
+	if s.draining.Load() {
+		return false, "shutting down"
+	}
+	if d := s.pool.depth(); d >= s.cfg.QueueDepth {
+		return false, fmt.Sprintf("queue saturated (%d/%d)", d, s.cfg.QueueDepth)
+	}
+	return true, "ok"
+}
+
+// retryAfterSeconds estimates when a shed client should come back:
+// (queued jobs + 1) × mean recent job duration, spread over the worker
+// count, clamped to [1, 30] seconds.
+func (s *Service) retryAfterSeconds() int {
+	mean := s.durations.mean()
+	if mean <= 0 {
+		mean = time.Second
+	}
+	est := float64(mean) * float64(s.pool.depth()+1) / float64(s.cfg.Workers)
+	secs := int(math.Ceil(est / float64(time.Second)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // Submit validates and enqueues an analysis job. It returns ErrQueueFull
@@ -188,6 +310,11 @@ func (s *Service) Submit(req AnalyzeRequest) (*Job, error) {
 	if err := req.validate(); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
+	fp := req.fingerprint()
+	if err := s.breaker.check(fp); err != nil {
+		s.quarantined.Inc()
+		return nil, err
+	}
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -195,6 +322,8 @@ func (s *Service) Submit(req AnalyzeRequest) (*Job, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	id := fmt.Sprintf("j%08d", s.nextID.Add(1))
 	j := newJob(id, req, ctx, cancel)
+	j.fingerprint = fp
+	j.timeout = timeout
 
 	s.jobsMu.Lock()
 	s.jobs[id] = j
@@ -244,8 +373,9 @@ func (s *Service) pruneLocked() {
 	s.order = kept
 }
 
-// execute runs one job on a worker goroutine: resolve the kernel, consult
-// the cache, run the pipeline, encode and cache the report.
+// execute runs one job on a worker goroutine, retrying transient stage
+// failures (recovered panics, injected faults) with capped exponential
+// backoff + jitter, and feeding the quarantine breaker on final failure.
 func (s *Service) execute(j *Job) {
 	if err := j.ctx.Err(); err != nil {
 		j.finish(s.countFinish(j.interrupted()), nil, "aborted before start: "+err.Error(), false)
@@ -254,15 +384,62 @@ func (s *Service) execute(j *Job) {
 	j.markRunning()
 	s.jobsInflight.Add(1)
 	defer s.jobsInflight.Add(-1)
+	defer func(t time.Time) { s.durations.record(time.Since(t)) }(time.Now())
 
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		j.setAttempts(attempt)
+		err := s.executeAttempt(j)
+		if err == nil {
+			s.breaker.recordSuccess(j.fingerprint)
+			return
+		}
+		lastErr = err
+		s.notePanic(err)
+		if j.ctx.Err() != nil {
+			j.finish(s.countFinish(j.interrupted()), nil, err.Error(), false)
+			return
+		}
+		if attempt >= s.cfg.RetryAttempts || !scout.TransientError(err) {
+			break
+		}
+		s.retries.Inc()
+		select {
+		case <-time.After(backoffDelay(s.cfg.RetryBackoff, 2*time.Second, attempt)):
+		case <-j.ctx.Done():
+			j.finish(s.countFinish(j.interrupted()), nil, lastErr.Error(), false)
+			return
+		}
+	}
+	s.breaker.recordFailure(j.fingerprint, lastErr.Error())
+	j.finish(s.countFinish(StateFailed), nil, lastErr.Error(), false)
+}
+
+// notePanic counts a fatal recovered panic in the stage-panic metric.
+// (Panics that were degraded into a shipped report are counted from the
+// report's ledger instead.)
+func (s *Service) notePanic(err error) {
+	var se *scout.StageError
+	if errors.As(err, &se) && se.PanicValue != nil {
+		if c, ok := s.stagePanics[se.Stage]; ok {
+			c.Inc()
+		}
+	}
+}
+
+// executeAttempt is one end-to-end pass at a job: resolve the kernel,
+// consult the cache, run the pipeline, encode and cache the report. It
+// returns nil when the job reached a terminal state itself; an error
+// means the attempt failed and the retry loop decides what happens.
+func (s *Service) executeAttempt(j *Job) error {
 	// Stage 1: build — resolve the request to a kernel + launch harness.
 	t0 := time.Now()
 	k, arch, opts, run, err := s.resolve(j.req)
 	s.stageDuration["build"].Observe(time.Since(t0).Seconds())
 	if err != nil {
-		j.finish(s.countFinish(StateFailed), nil, err.Error(), false)
-		return
+		return err
 	}
+	opts.Budgets = s.cfg.StageBudgets
 
 	// Stage 2: cache probe on the canonical SASS text. A simulated
 	// workload run keys on its launch configuration too — the same SASS
@@ -275,53 +452,74 @@ func (s *Service) execute(j *Job) {
 	if data, ok := s.cache.get(key); ok {
 		s.cacheHits.Inc()
 		j.finish(s.countFinish(StateDone), data, "", true)
-		return
+		return nil
 	}
 	s.cacheMisses.Inc()
 
-	// Stage 3: the three-pillar pipeline, under the job's context.
+	// Stage 3: the three-pillar pipeline, under the job's context. Stage
+	// budgets are applied inside: a slow or crashing dynamic pillar comes
+	// back as a degraded static report, not an error.
 	t1 := time.Now()
 	rep, err := scout.AnalyzeContext(j.ctx, arch, k, run, opts)
 	s.stageDuration["analyze"].Observe(time.Since(t1).Seconds())
 	if err != nil {
-		if j.ctx.Err() != nil {
-			j.finish(s.countFinish(j.interrupted()), nil, err.Error(), false)
-		} else {
-			j.finish(s.countFinish(StateFailed), nil, err.Error(), false)
-		}
-		return
+		return err
 	}
 
 	// Stage 3b: counterfactual verification — re-execute each paired
-	// optimized variant under the same sim config and the same job
-	// context, so the per-job timeout covers the variant runs too.
+	// optimized variant under the same sim config, inside the verify
+	// budget slice; when the slice expires, remaining findings ship
+	// unverified (recorded in the report's ledger by the advisor).
 	if j.req.Verify {
+		vctx, vcancel := j.ctx, context.CancelFunc(func() {})
+		if !s.cfg.StageBudgets.Disabled && j.timeout > 0 {
+			vctx, vcancel = context.WithTimeout(j.ctx, s.cfg.StageBudgets.SliceOf(scout.StageVerify, j.timeout))
+		}
 		t := time.Now()
-		sum, err := advisor.Verify(j.ctx, rep, j.req.Workload, j.req.Scale, arch, opts.Sim)
+		sum, err := advisor.Verify(vctx, rep, j.req.Workload, j.req.Scale, arch, opts.Sim)
+		vcancel()
 		s.stageDuration["verify"].Observe(time.Since(t).Seconds())
 		if err != nil {
-			if j.ctx.Err() != nil {
-				j.finish(s.countFinish(j.interrupted()), nil, err.Error(), false)
-			} else {
-				j.finish(s.countFinish(StateFailed), nil, "verify: "+err.Error(), false)
-			}
-			return
+			return fmt.Errorf("verify: %w", err)
 		}
 		s.verifications[scout.VerdictConfirmed].Add(uint64(sum.Confirmed))
 		s.verifications[scout.VerdictNeutral].Add(uint64(sum.Neutral))
 		s.verifications[scout.VerdictRefuted].Add(uint64(sum.Refuted))
 	}
 
-	// Stage 4: encode once, cache the immutable bytes.
+	// Degradation accounting: every shipped ledger entry is visible in
+	// /metrics — one degraded_reports tick per distinct stage_kind, one
+	// stage_panics tick per recovered panic.
+	if n := len(rep.Degradations); n > 0 {
+		kinds := map[string]bool{}
+		for _, d := range rep.Degradations {
+			kinds[d.Stage+"_"+d.Kind] = true
+			if d.Kind == scout.DegradePanic {
+				if c, ok := s.stagePanics[d.Stage]; ok {
+					c.Inc()
+				}
+			}
+		}
+		for kind := range kinds {
+			s.degradedCounter(kind).Inc()
+		}
+		j.setDegradations(n)
+	}
+
+	// Stage 4: encode once; cache the immutable bytes — but never a
+	// degraded report, so a later identical request gets a chance at the
+	// full result.
 	t2 := time.Now()
 	data, err := rep.MarshalJSON()
 	s.stageDuration["encode"].Observe(time.Since(t2).Seconds())
 	if err != nil {
-		j.finish(s.countFinish(StateFailed), nil, "encode report: "+err.Error(), false)
-		return
+		return fmt.Errorf("encode report: %w", err)
 	}
-	s.cache.put(key, data)
+	if len(rep.Degradations) == 0 {
+		s.cache.put(key, data)
+	}
 	j.finish(s.countFinish(StateDone), data, "", false)
+	return nil
 }
 
 // countFinish bumps the per-state finished counter and passes the state
@@ -333,10 +531,28 @@ func (s *Service) countFinish(st State) State {
 	return st
 }
 
-// resolve turns a request into (kernel, arch, options, run func). For
-// uploaded SASS and cubins there is no launch harness, so the analysis is
-// forced static (DryRun) — matching the CLI's behavior for -sass/-cubin.
-func (s *Service) resolve(req AnalyzeRequest) (*sass.Kernel, gpu.Arch, scout.Options, scout.RunContextFunc, error) {
+// siteResolve covers the whole kernel-resolution step (SASS parse, cubin
+// decode, workload build); the nested sites register their own names.
+var siteResolve = faultinject.Register("service.resolve")
+
+// resolve turns a request into (kernel, arch, options, run func), under
+// a parse-stage panic guard so a crash on malformed input becomes a
+// typed StageError instead of killing the worker. For uploaded SASS and
+// cubins there is no launch harness, so the analysis is forced static
+// (DryRun) — matching the CLI's behavior for -sass/-cubin.
+func (s *Service) resolve(req AnalyzeRequest) (k *sass.Kernel, arch gpu.Arch, opts scout.Options, run scout.RunContextFunc, err error) {
+	err = scout.Guard(scout.StageParse, siteResolve, func() error {
+		if e := faultinject.Hit(siteResolve); e != nil {
+			return e
+		}
+		var e error
+		k, arch, opts, run, e = s.resolveRequest(req)
+		return e
+	})
+	return k, arch, opts, run, err
+}
+
+func (s *Service) resolveRequest(req AnalyzeRequest) (*sass.Kernel, gpu.Arch, scout.Options, scout.RunContextFunc, error) {
 	archName := req.Arch
 	if archName == "" {
 		archName = "sm_70"

@@ -13,6 +13,7 @@ import (
 
 	"gpuscout/internal/cubin"
 	"gpuscout/internal/sass"
+	"gpuscout/internal/scout"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
@@ -218,8 +219,14 @@ func TestQueueBackpressure(t *testing.T) {
 
 // TestJobTimeout gives a heavy job a tiny deadline and expects the
 // simulation to be interrupted, reporting state "timeout".
+// TestJobTimeout covers the pre-degradation semantics: with stage
+// budgets disabled, a job whose simulation outlives the whole deadline
+// times out and reports 504.
 func TestJobTimeout(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	_, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 4,
+		StageBudgets: scout.StageBudgets{Disabled: true},
+	})
 	resp, body := postAnalyze(t, ts, "", `{"workload":"sgemm_naive","timeout_ms":20}`)
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504 (body %s)", resp.StatusCode, body)
@@ -236,6 +243,78 @@ func TestJobTimeout(t *testing.T) {
 	}
 	if n := metricValue(t, ts, `gpuscoutd_jobs_finished_total{state="timeout"}`); n != 1 {
 		t.Errorf("timeout counter = %g, want 1", n)
+	}
+}
+
+// TestSimTimeoutDegrades is the staged-deadline acceptance path: with
+// budgets on (the default), a sim slice too small for the launch yields
+// a degraded static-only report — StateDone, ledger naming sim.launch —
+// instead of an empty StateTimeout, and the degradation is visible in
+// gpuscoutd_degraded_reports_total{kind="sim_timeout"}.
+func TestSimTimeoutDegrades(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	// 60ms total → ~33ms sim slice: enough to start sgemm_naive's launch,
+	// not to finish it; the static pillars fit comfortably.
+	resp, body := postAnalyze(t, ts, "", `{"workload":"sgemm_naive","timeout_ms":60}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (body %s)", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state = %s, want %s (error %q)", st.State, StateDone, st.Error)
+	}
+	if st.Degradations == 0 {
+		t.Fatal("degraded job reports zero ledger entries")
+	}
+	var rep struct {
+		DryRun       bool                `json:"dry_run"`
+		Degradations []scout.Degradation `json:"degradations"`
+	}
+	if err := json.Unmarshal(st.Report, &rep); err != nil {
+		t.Fatalf("unmarshal report: %v", err)
+	}
+	if !rep.DryRun {
+		t.Error("sim-timeout fallback must be a static (dry-run-equivalent) report")
+	}
+	found := false
+	for _, d := range rep.Degradations {
+		if d.Stage == scout.StageSim && d.Site == "sim.launch" && d.Kind == scout.DegradeTimeout {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ledger %+v misses the sim/timeout/sim.launch entry", rep.Degradations)
+	}
+	if n := metricValue(t, ts, `gpuscoutd_degraded_reports_total{kind="sim_timeout"}`); n != 1 {
+		t.Errorf(`degraded_reports_total{kind="sim_timeout"} = %g, want 1`, n)
+	}
+	if n := metricValue(t, ts, `gpuscoutd_jobs_finished_total{state="timeout"}`); n != 0 {
+		t.Errorf("timeout counter = %g, want 0 (job must degrade, not time out)", n)
+	}
+	// Degraded reports must not poison the cache: the same request again
+	// with a generous deadline gets the full dynamic report.
+	resp2, body2 := postAnalyze(t, ts, "", `{"workload":"sgemm_naive"}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second analyze: status %d (body %s)", resp2.StatusCode, body2)
+	}
+	var st2 Status
+	if err := json.Unmarshal(body2, &st2); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if st2.CacheHit {
+		t.Error("degraded report was served from cache")
+	}
+	var rep2 struct {
+		DryRun bool `json:"dry_run"`
+	}
+	if err := json.Unmarshal(st2.Report, &rep2); err != nil {
+		t.Fatalf("unmarshal second report: %v", err)
+	}
+	if rep2.DryRun {
+		t.Error("full-deadline rerun still degraded")
 	}
 }
 

@@ -9,10 +9,14 @@ import (
 	"sync"
 	"time"
 
+	"gpuscout/internal/faultinject"
 	"gpuscout/internal/gpu"
 	"gpuscout/internal/memsys"
 	"gpuscout/internal/sass"
 )
+
+// siteLaunch is the fault-injection site covering the simulated launch.
+var siteLaunch = faultinject.Register("sim.launch")
 
 // Config controls a simulated launch.
 type Config struct {
@@ -86,6 +90,9 @@ func Launch(dev *Device, spec LaunchSpec, cfg Config) (*Result, error) {
 func LaunchContext(ctx context.Context, dev *Device, spec LaunchSpec, cfg Config) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if err := faultinject.Hit(siteLaunch); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
 	k := spec.Kernel
 	if err := k.Validate(); err != nil {
