@@ -31,11 +31,17 @@ serve:
 	$(GO) run ./cmd/gpuscoutd -addr :8090
 
 # Parallel-simulation benchmark + regression gate (what the nightly
-# bench workflow runs); writes BENCH_parallel_sim.json.
+# bench workflow runs); appends a dated entry to the
+# BENCH_parallel_sim.json trajectory. The allocs/op ceiling (-gate-allocs)
+# catches the hot path regressing back to per-cycle heap churn: a warm
+# launch sits near 1-1.5k allocs (all launch setup), two orders of
+# magnitude under the ceiling only if someone reintroduces per-warp or
+# per-instruction allocation.
 bench-parallel:
 	$(GO) test -run '^$$' -bench BenchmarkParallelLaunch -cpu 1,4 \
-		-benchtime=3x -timeout 30m . | tee bench.txt
-	$(GO) run ./cmd/benchgate -in bench.txt -out BENCH_parallel_sim.json
+		-benchtime=3x -benchmem -timeout 30m . | tee bench.txt
+	$(GO) run ./cmd/benchgate -in bench.txt -gate-allocs 5000 \
+		-out BENCH_parallel_sim.json
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "$$out"; exit 1; fi

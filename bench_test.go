@@ -177,6 +177,7 @@ func BenchmarkParallelLaunch(b *testing.B) {
 			}
 			cfg := sim.Config{SampleSMs: 8}
 			var speedup float64
+			b.ReportAllocs() // benchgate gates allocs/op alongside ns/op
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := gpuscout.Launch(dev, run.Spec, cfg)

@@ -2,14 +2,23 @@
 // benchmark report and a pass/fail regression gate for the parallel
 // simulator. The nightly CI job runs
 //
-//	go test -run '^$' -bench BenchmarkParallelLaunch -cpu 1,4 -benchtime=3x . \
-//	    | go run ./cmd/benchgate -out BENCH_parallel_sim.json
+//	go test -run '^$' -bench BenchmarkParallelLaunch -benchmem -cpu 1,4 -benchtime=3x . \
+//	    | go run ./cmd/benchgate -out BENCH_parallel_sim.json -gate-allocs 4096
 //
 // benchgate pairs each benchmark's 1-CPU run (no -N name suffix) with its
-// multi-CPU run (-4 suffix by default), writes the pairs as JSON, and
-// exits non-zero when any multi-CPU run is slower than its 1-CPU
-// counterpart by more than the allowed ratio — the parallel path must
-// never cost real time, even on hosts where it cannot win any.
+// multi-CPU run (-4 suffix by default), appends the run as a dated entry
+// to the trajectory file named by -out, and exits non-zero when
+//
+//   - any multi-CPU run is slower than its 1-CPU counterpart by more than
+//     the allowed ratio (the parallel path must never cost real time, even
+//     on hosts where it cannot win any), or
+//   - -gate-allocs is set and any paired run reports more than that many
+//     allocs/op (the simulator hot path is arena-backed and must stay
+//     allocation-free after launch setup; see DESIGN.md).
+//
+// The -out file is a trajectory: a JSON array of dated entries, one per
+// benchgate run, appended to — never overwritten — so the committed file
+// records how ns/op and allocs/op evolve across changes.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Sample is one parsed benchmark line.
@@ -32,6 +42,9 @@ type Sample struct {
 	CPUs int `json:"cpus"`
 	// NsPerOp is the reported ns/op.
 	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp carry the -benchmem columns when present.
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	// Metrics holds the custom b.ReportMetric values (e.g. sm_speedup_x).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
@@ -50,25 +63,47 @@ type Pair struct {
 	// parallel run, when present: the simulator-measured concurrency
 	// overlap, meaningful even on CPU-starved hosts.
 	SMSpeedup float64 `json:"sm_speedup,omitempty"`
-	Pass      bool    `json:"pass"`
+	// BaseAllocsPerOp / ParAllocsPerOp carry the -benchmem allocation
+	// counts of the two runs (0 when -benchmem was not used).
+	BaseAllocsPerOp float64 `json:"base_allocs_per_op,omitempty"`
+	ParAllocsPerOp  float64 `json:"par_allocs_per_op,omitempty"`
+	Pass            bool    `json:"pass"`
 }
 
-// Report is the written JSON document.
+// Report is one benchgate evaluation.
 type Report struct {
-	MaxRatio float64  `json:"max_ratio"`
-	Pass     bool     `json:"pass"`
-	Pairs    []Pair   `json:"pairs"`
-	Samples  []Sample `json:"samples"`
+	MaxRatio float64 `json:"max_ratio"`
+	// GateAllocs is the allocs/op ceiling applied to every paired run
+	// (0 = allocation gate disabled).
+	GateAllocs float64  `json:"gate_allocs,omitempty"`
+	Pass       bool     `json:"pass"`
+	Pairs      []Pair   `json:"pairs"`
+	Samples    []Sample `json:"samples"`
+}
+
+// Entry is one dated run in the trajectory file.
+type Entry struct {
+	Date string `json:"date"`
+	Note string `json:"note,omitempty"`
+	Report
 }
 
 func main() {
 	var (
-		in       = flag.String("in", "-", "benchmark output to read (- = stdin)")
-		out      = flag.String("out", "BENCH_parallel_sim.json", "JSON report path (- = stdout, empty = none)")
-		cpus     = flag.Int("cpus", 4, "cpu suffix of the parallel runs to gate")
-		maxRatio = flag.Float64("max-ratio", 1.10, "fail when parallel ns/op exceeds sequential by this factor")
+		in         = flag.String("in", "-", "benchmark output to read (- = stdin)")
+		out        = flag.String("out", "BENCH_parallel_sim.json", "trajectory file to append this run to (- = print report to stdout, empty = none)")
+		cpus       = flag.Int("cpus", 4, "cpu suffix of the parallel runs to gate")
+		cpuList    = flag.String("cpu-list", "", "comma-separated GOMAXPROCS values the -cpu flag ran with; only these are recognized as -N name suffixes (default: the -cpus value)")
+		maxRatio   = flag.Float64("max-ratio", 1.10, "fail when parallel ns/op exceeds sequential by this factor")
+		gateAllocs = flag.Float64("gate-allocs", 0, "fail when any paired run reports more than this many allocs/op (0 = off; requires -benchmem)")
+		note       = flag.String("note", "", "free-form note recorded in the trajectory entry")
 	)
 	flag.Parse()
+
+	suffixes, err := parseCPUList(*cpuList, *cpus)
+	if err != nil {
+		fatal(err)
+	}
 
 	r := os.Stdin
 	if *in != "-" {
@@ -79,7 +114,7 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	samples, err := parseBench(r)
+	samples, err := parseBench(r, suffixes)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,16 +122,16 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines found in input"))
 	}
 
-	rep := gate(samples, *cpus, *maxRatio)
-	if *out != "" {
+	rep := gate(samples, *cpus, *maxRatio, *gateAllocs)
+	if *out == "-" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fatal(err)
 		}
-		data = append(data, '\n')
-		if *out == "-" {
-			os.Stdout.Write(data)
-		} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		os.Stdout.Write(append(data, '\n'))
+	} else if *out != "" {
+		entry := Entry{Date: time.Now().UTC().Format(time.RFC3339), Note: *note, Report: rep}
+		if err := appendEntry(*out, entry); err != nil {
 			fatal(err)
 		}
 	}
@@ -106,12 +141,16 @@ func main() {
 		if !p.Pass {
 			status = "REGRESSION"
 		}
-		fmt.Fprintf(os.Stderr, "benchgate: %-40s base %12.0f ns/op  %d-cpu %12.0f ns/op  ratio %.3f  %s\n",
-			p.Name, p.BaseNsPerOp, p.ParCPUs, p.ParNsPerOp, p.Ratio, status)
+		allocs := ""
+		if p.BaseAllocsPerOp != 0 || p.ParAllocsPerOp != 0 {
+			allocs = fmt.Sprintf("  allocs %v/%v", p.BaseAllocsPerOp, p.ParAllocsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: %-40s base %12.0f ns/op  %d-cpu %12.0f ns/op  ratio %.3f%s  %s\n",
+			p.Name, p.BaseNsPerOp, p.ParCPUs, p.ParNsPerOp, p.Ratio, allocs, status)
 	}
 	if !rep.Pass {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL — a %d-cpu run is more than %.0f%% slower than its 1-cpu baseline\n",
-			*cpus, (*maxRatio-1)*100)
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — a %d-cpu run is more than %.0f%% slower than its 1-cpu baseline, or a run exceeded %.0f allocs/op\n",
+			*cpus, (*maxRatio-1)*100, *gateAllocs)
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "benchgate: PASS")
@@ -122,13 +161,39 @@ func fatal(err error) {
 	os.Exit(2)
 }
 
+// parseCPUList builds the set of GOMAXPROCS values that may appear as -N
+// benchmark-name suffixes. Defaults to {parCPUs} when the list is empty.
+func parseCPUList(list string, parCPUs int) (map[int]bool, error) {
+	set := map[int]bool{}
+	if strings.TrimSpace(list) == "" {
+		set[parCPUs] = true
+		return set, nil
+	}
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		n, err := strconv.Atoi(tok)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -cpu-list entry %q", tok)
+		}
+		set[n] = true
+	}
+	return set, nil
+}
+
 // parseBench extracts Samples from `go test -bench` output. A benchmark
 // line looks like
 //
-//	BenchmarkParallelLaunch/sgemm_naive-4  3  376768490 ns/op  3.749 sm_speedup_x
+//	BenchmarkParallelLaunch/sgemm_naive-4  3  376768490 ns/op  64 B/op  2 allocs/op  3.749 sm_speedup_x
 //
 // where the trailing -4 is the GOMAXPROCS suffix (absent for 1).
-func parseBench(r io.Reader) ([]Sample, error) {
+//
+// A trailing -N is only treated as a cpu suffix when N is in cpuSuffixes:
+// sub-benchmark names routinely end in -<digits> themselves (e.g.
+// "copy/vec4-2"), and stripping those would merge distinct benchmarks.
+func parseBench(r io.Reader, cpuSuffixes map[int]bool) ([]Sample, error) {
 	var out []Sample
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -144,21 +209,37 @@ func parseBench(r io.Reader) ([]Sample, error) {
 		}
 		s := Sample{Name: fields[0], CPUs: 1, Metrics: map[string]float64{}}
 		if i := strings.LastIndex(s.Name, "-"); i > 0 {
-			if n, err := strconv.Atoi(s.Name[i+1:]); err == nil && n > 1 {
+			if n, err := strconv.Atoi(s.Name[i+1:]); err == nil && n > 1 && cpuSuffixes[n] {
 				s.Name, s.CPUs = s.Name[:i], n
 			}
 		}
+		// Walk value/unit pairs. On a token that is not a number — or a
+		// "value" whose following token is itself numeric — advance by one
+		// to resynchronize instead of blindly stepping two, which would
+		// skip a valid pair after any malformed column.
 		ok := false
-		for i := 2; i+1 < len(fields); i += 2 {
+		for i := 2; i+1 < len(fields); {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
+				i++
 				continue
 			}
-			if fields[i+1] == "ns/op" {
-				s.NsPerOp, ok = v, true
-			} else {
-				s.Metrics[fields[i+1]] = v
+			unit := fields[i+1]
+			if _, err := strconv.ParseFloat(unit, 64); err == nil {
+				i++
+				continue
 			}
+			switch unit {
+			case "ns/op":
+				s.NsPerOp, ok = v, true
+			case "B/op":
+				s.BytesPerOp = v
+			case "allocs/op":
+				s.AllocsPerOp = v
+			default:
+				s.Metrics[unit] = v
+			}
+			i += 2
 		}
 		if ok {
 			out = append(out, s)
@@ -168,10 +249,11 @@ func parseBench(r io.Reader) ([]Sample, error) {
 }
 
 // gate pairs each benchmark's 1-CPU sample with its parCPUs sample and
-// applies the ratio threshold. With -count > 1 each side keeps its best
-// (minimum ns/op) run, the standard way to damp scheduler noise.
+// applies the ratio threshold plus, when gateAllocs > 0, the allocs/op
+// ceiling on both sides of the pair. With -count > 1 each side keeps its
+// best (minimum ns/op) run, the standard way to damp scheduler noise.
 // Benchmarks missing either side are reported as samples but not gated.
-func gate(samples []Sample, parCPUs int, maxRatio float64) Report {
+func gate(samples []Sample, parCPUs int, maxRatio, gateAllocs float64) Report {
 	base := map[string]Sample{}
 	par := map[string]Sample{}
 	keepBest := func(m map[string]Sample, s Sample) {
@@ -187,7 +269,7 @@ func gate(samples []Sample, parCPUs int, maxRatio float64) Report {
 			keepBest(par, s)
 		}
 	}
-	rep := Report{MaxRatio: maxRatio, Pass: true, Samples: samples}
+	rep := Report{MaxRatio: maxRatio, GateAllocs: gateAllocs, Pass: true, Samples: samples}
 	names := make([]string, 0, len(base))
 	for name := range base {
 		if _, ok := par[name]; ok {
@@ -198,19 +280,68 @@ func gate(samples []Sample, parCPUs int, maxRatio float64) Report {
 	for _, name := range names {
 		b, p := base[name], par[name]
 		pair := Pair{
-			Name:        name,
-			BaseNsPerOp: b.NsPerOp,
-			ParNsPerOp:  p.NsPerOp,
-			ParCPUs:     parCPUs,
-			Ratio:       p.NsPerOp / b.NsPerOp,
-			Speedup:     b.NsPerOp / p.NsPerOp,
-			SMSpeedup:   p.Metrics["sm_speedup_x"],
+			Name:            name,
+			BaseNsPerOp:     b.NsPerOp,
+			ParNsPerOp:      p.NsPerOp,
+			ParCPUs:         parCPUs,
+			Ratio:           p.NsPerOp / b.NsPerOp,
+			Speedup:         b.NsPerOp / p.NsPerOp,
+			SMSpeedup:       p.Metrics["sm_speedup_x"],
+			BaseAllocsPerOp: b.AllocsPerOp,
+			ParAllocsPerOp:  p.AllocsPerOp,
 		}
 		pair.Pass = pair.Ratio <= maxRatio
+		if gateAllocs > 0 && (b.AllocsPerOp > gateAllocs || p.AllocsPerOp > gateAllocs) {
+			pair.Pass = false
+		}
 		if !pair.Pass {
 			rep.Pass = false
 		}
 		rep.Pairs = append(rep.Pairs, pair)
 	}
 	return rep
+}
+
+// appendEntry loads the trajectory at path (tolerating a missing file and
+// the legacy single-report format), appends entry, and writes it back.
+func appendEntry(path string, entry Entry) error {
+	entries, err := loadTrajectory(path)
+	if err != nil {
+		return err
+	}
+	entries = append(entries, entry)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// loadTrajectory reads the entry array at path. A missing or empty file
+// yields an empty trajectory; a legacy single-Report document becomes its
+// sole (undated) entry so old files keep their history when appended to.
+func loadTrajectory(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if trimmed == "" {
+		return nil, nil
+	}
+	if strings.HasPrefix(trimmed, "{") {
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("%s: legacy report: %w", path, err)
+		}
+		return []Entry{{Note: "legacy report (pre-trajectory)", Report: rep}}, nil
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entries, nil
 }

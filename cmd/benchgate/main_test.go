@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -18,8 +21,16 @@ PASS
 ok  	gpuscout	5.950s
 `
 
+func cpuSet(ns ...int) map[int]bool {
+	m := map[int]bool{}
+	for _, n := range ns {
+		m[n] = true
+	}
+	return m
+}
+
 func TestParseBench(t *testing.T) {
-	samples, err := parseBench(strings.NewReader(sampleOutput))
+	samples, err := parseBench(strings.NewReader(sampleOutput), cpuSet(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,9 +54,135 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+// TestParseBenchHyphenatedNames pins the cpu-suffix fix: a sub-benchmark
+// whose own name ends in -<digits> (like vec4-2) must only lose the
+// suffix when that number is a GOMAXPROCS value the run was told about.
+func TestParseBenchHyphenatedNames(t *testing.T) {
+	cases := []struct {
+		line     string
+		cpuList  map[int]bool
+		wantName string
+		wantCPUs int
+	}{
+		{
+			// -2 names a variant, not a cpu count: 2 is not in the list.
+			line:     "BenchmarkCopy/vec4-2 	 3	 1000 ns/op",
+			cpuList:  cpuSet(4),
+			wantName: "BenchmarkCopy/vec4-2",
+			wantCPUs: 1,
+		},
+		{
+			// Same name under -cpu 1,2: now -2 IS the GOMAXPROCS suffix.
+			line:     "BenchmarkCopy/vec4-2 	 3	 1000 ns/op",
+			cpuList:  cpuSet(2),
+			wantName: "BenchmarkCopy/vec4",
+			wantCPUs: 2,
+		},
+		{
+			line:     "BenchmarkCopy/vec4-2-4 	 3	 1000 ns/op",
+			cpuList:  cpuSet(4),
+			wantName: "BenchmarkCopy/vec4-2",
+			wantCPUs: 4,
+		},
+		{
+			// -128 looks like a big cpu suffix but is not in the list.
+			line:     "BenchmarkTile/size-128 	 3	 1000 ns/op",
+			cpuList:  cpuSet(4),
+			wantName: "BenchmarkTile/size-128",
+			wantCPUs: 1,
+		},
+		{
+			// -1 is never a suffix (go test only appends for GOMAXPROCS>1).
+			line:     "BenchmarkX/case-1 	 3	 1000 ns/op",
+			cpuList:  cpuSet(1, 4),
+			wantName: "BenchmarkX/case-1",
+			wantCPUs: 1,
+		},
+	}
+	for _, tc := range cases {
+		samples, err := parseBench(strings.NewReader(tc.line+"\n"), tc.cpuList)
+		if err != nil || len(samples) != 1 {
+			t.Fatalf("%q: parse: %v, %d samples", tc.line, err, len(samples))
+		}
+		if samples[0].Name != tc.wantName || samples[0].CPUs != tc.wantCPUs {
+			t.Errorf("%q: got (%q, %d), want (%q, %d)",
+				tc.line, samples[0].Name, samples[0].CPUs, tc.wantName, tc.wantCPUs)
+		}
+	}
+}
+
+// TestParseBenchMalformed pins the resynchronization fix: a malformed
+// column must not shift the value/unit pairing off by one for the rest of
+// the line, and garbage lines must not produce samples.
+func TestParseBenchMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		line    string
+		want    int // samples parsed
+		ns      float64
+		allocs  float64
+		metrics map[string]float64
+	}{
+		{
+			name: "well-formed with benchmem",
+			line: "BenchmarkX 	 3	 1000 ns/op	 64 B/op	 2 allocs/op",
+			want: 1, ns: 1000, allocs: 2,
+		},
+		{
+			// A stray non-numeric token before ns/op: the old i += 2 walk
+			// landed on (ns/op, 64) next and dropped everything; the
+			// resynchronizing walk recovers the remaining pairs.
+			name: "stray token resync",
+			line: "BenchmarkX 	 3	 ??? 1000 ns/op	 64 B/op	 2 allocs/op",
+			want: 1, ns: 1000, allocs: 2,
+		},
+		{
+			// Two numbers in a row (mangled count column): the first number
+			// is not a (value, unit) pair and must be skipped by one.
+			name: "doubled number resync",
+			line: "BenchmarkX 	 3	 7 1000 ns/op	 0.5 things_x",
+			want: 1, ns: 1000, metrics: map[string]float64{"things_x": 0.5},
+		},
+		{
+			name: "no ns/op at all",
+			line: "BenchmarkX 	 3	 64 B/op	 2 allocs/op",
+			want: 0,
+		},
+		{
+			name: "too few fields",
+			line: "BenchmarkX 	 3	 1000",
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		samples, err := parseBench(strings.NewReader(tc.line+"\n"), cpuSet(4))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(samples) != tc.want {
+			t.Fatalf("%s: parsed %d samples, want %d", tc.name, len(samples), tc.want)
+		}
+		if tc.want == 0 {
+			continue
+		}
+		s := samples[0]
+		if s.NsPerOp != tc.ns {
+			t.Errorf("%s: NsPerOp = %v, want %v", tc.name, s.NsPerOp, tc.ns)
+		}
+		if s.AllocsPerOp != tc.allocs {
+			t.Errorf("%s: AllocsPerOp = %v, want %v", tc.name, s.AllocsPerOp, tc.allocs)
+		}
+		for k, v := range tc.metrics {
+			if s.Metrics[k] != v {
+				t.Errorf("%s: metric %s = %v, want %v", tc.name, k, s.Metrics[k], v)
+			}
+		}
+	}
+}
+
 func TestGatePass(t *testing.T) {
-	samples, _ := parseBench(strings.NewReader(sampleOutput))
-	rep := gate(samples, 4, 1.10)
+	samples, _ := parseBench(strings.NewReader(sampleOutput), cpuSet(4))
+	rep := gate(samples, 4, 1.10, 0)
 	if !rep.Pass {
 		t.Fatalf("gate failed: %+v", rep.Pairs)
 	}
@@ -69,8 +206,8 @@ func TestGateRegression(t *testing.T) {
 	slow := strings.ReplaceAll(sampleOutput,
 		"BenchmarkParallelLaunch/sgemm_naive-4         	       3	 120768490 ns/op",
 		"BenchmarkParallelLaunch/sgemm_naive-4         	       3	 400000000 ns/op")
-	samples, _ := parseBench(strings.NewReader(slow))
-	rep := gate(samples, 4, 1.10)
+	samples, _ := parseBench(strings.NewReader(slow), cpuSet(4))
+	rep := gate(samples, 4, 1.10, 0)
 	if rep.Pass {
 		t.Fatal("gate passed a 24% regression")
 	}
@@ -94,11 +231,91 @@ func TestGateToleratesSmallSlowdown(t *testing.T) {
 	in := `BenchmarkParallelLaunch/x 	 3	 100000000 ns/op
 BenchmarkParallelLaunch/x-4 	 3	 105000000 ns/op
 `
-	samples, err := parseBench(strings.NewReader(in))
+	samples, err := parseBench(strings.NewReader(in), cpuSet(4))
 	if err != nil || len(samples) != 2 {
 		t.Fatalf("parse: %v, %d samples", err, len(samples))
 	}
-	if rep := gate(samples, 4, 1.10); !rep.Pass {
+	if rep := gate(samples, 4, 1.10, 0); !rep.Pass {
 		t.Errorf("5%% slowdown failed the 10%% gate: %+v", rep.Pairs)
+	}
+}
+
+func TestGateAllocs(t *testing.T) {
+	in := `BenchmarkParallelLaunch/x 	 3	 100000000 ns/op	 2048 B/op	 10 allocs/op
+BenchmarkParallelLaunch/x-4 	 3	  50000000 ns/op	 2048 B/op	 500 allocs/op
+`
+	samples, err := parseBench(strings.NewReader(in), cpuSet(4))
+	if err != nil || len(samples) != 2 {
+		t.Fatalf("parse: %v, %d samples", err, len(samples))
+	}
+	if rep := gate(samples, 4, 1.10, 0); !rep.Pass {
+		t.Errorf("disabled allocation gate failed: %+v", rep.Pairs)
+	}
+	if rep := gate(samples, 4, 1.10, 1000); !rep.Pass {
+		t.Errorf("500 allocs/op failed a 1000 ceiling: %+v", rep.Pairs)
+	}
+	rep := gate(samples, 4, 1.10, 100)
+	if rep.Pass {
+		t.Error("500 allocs/op passed a 100 ceiling")
+	}
+	if p := rep.Pairs[0]; p.BaseAllocsPerOp != 10 || p.ParAllocsPerOp != 500 {
+		t.Errorf("pair allocs = %v/%v, want 10/500", p.BaseAllocsPerOp, p.ParAllocsPerOp)
+	}
+}
+
+// TestTrajectoryAppend pins the -out semantics: the file is a JSON array
+// of dated entries that grows by one per run; a legacy single-report file
+// is absorbed as the first entry rather than clobbered.
+func TestTrajectoryAppend(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_parallel_sim.json")
+
+	rep := Report{MaxRatio: 1.1, Pass: true}
+	if err := appendEntry(path, Entry{Date: "2026-08-08T00:00:00Z", Note: "first", Report: rep}); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendEntry(path, Entry{Date: "2026-08-09T00:00:00Z", Note: "second", Report: rep}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := loadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Note != "first" || entries[1].Note != "second" {
+		t.Fatalf("trajectory = %+v, want first,second", entries)
+	}
+
+	// Legacy single-report file becomes the sole entry on the next append.
+	legacy := filepath.Join(dir, "legacy.json")
+	data, _ := json.Marshal(rep)
+	if err := os.WriteFile(legacy, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendEntry(legacy, Entry{Date: "2026-08-09T00:00:00Z", Note: "new", Report: rep}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = loadTrajectory(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[1].Note != "new" {
+		t.Fatalf("legacy upgrade = %+v, want 2 entries ending in new", entries)
+	}
+	if entries[0].Report.MaxRatio != 1.1 {
+		t.Errorf("legacy report lost: %+v", entries[0])
+	}
+}
+
+func TestParseCPUList(t *testing.T) {
+	set, err := parseCPUList("", 4)
+	if err != nil || !set[4] || len(set) != 1 {
+		t.Errorf("default list = %v, %v", set, err)
+	}
+	set, err = parseCPUList("1, 2,8", 4)
+	if err != nil || !set[1] || !set[2] || !set[8] || len(set) != 3 {
+		t.Errorf("explicit list = %v, %v", set, err)
+	}
+	if _, err := parseCPUList("4,x", 4); err == nil {
+		t.Error("bad list accepted")
 	}
 }

@@ -13,22 +13,50 @@ package memsys
 // — is exactly (sum of this function over accesses) / (access count):
 // 1.0 means conflict-free, 32 means fully serialized 32-way conflicts.
 func BankConflicts(numBanks int, addrs []uint64, active []bool, widthBytes int) int {
-	// Per bank, collect the set of distinct word addresses touched.
-	words := make(map[uint64]struct{}, len(addrs))
+	var s BankScratch
+	return s.BankConflicts(numBanks, addrs, active, widthBytes)
+}
+
+// BankScratch holds reusable buffers for the conflict calculators so the
+// simulator's hot path computes conflicts without heap allocation. The
+// zero value is ready to use; buffers grow on first use and are retained.
+type BankScratch struct {
+	words   []uint64 // distinct word addresses of one access
+	perBank []int    // transaction count per bank
+}
+
+// BankConflicts is the allocation-free form of the package-level
+// BankConflicts; it produces the identical result for identical inputs.
+func (s *BankScratch) BankConflicts(numBanks int, addrs []uint64, active []bool, widthBytes int) int {
+	// Collect the set of distinct word addresses touched. A warp touches
+	// at most 32 lanes x widthBytes/4 words, so linear dedup over a small
+	// slice beats a map.
+	words := s.words[:0]
 	for lane, a := range addrs {
 		if lane < len(active) && !active[lane] {
 			continue
 		}
 		for w := 0; w < widthBytes; w += 4 {
-			words[(a+uint64(w))/4] = struct{}{}
+			word := (a + uint64(w)) / 4
+			seen := false
+			for _, prev := range words {
+				if prev == word {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				words = append(words, word)
+			}
 		}
 	}
+	s.words = words
 	if len(words) == 0 {
 		return 0
 	}
-	perBank := make(map[int]int)
+	perBank := s.bankCounts(numBanks)
 	maxPer := 0
-	for word := range words {
+	for _, word := range words {
 		bank := int(word % uint64(numBanks))
 		perBank[bank]++
 		if perBank[bank] > maxPer {
@@ -38,12 +66,30 @@ func BankConflicts(numBanks int, addrs []uint64, active []bool, widthBytes int) 
 	return maxPer
 }
 
+func (s *BankScratch) bankCounts(numBanks int) []int {
+	if cap(s.perBank) < numBanks {
+		s.perBank = make([]int, numBanks)
+	}
+	s.perBank = s.perBank[:numBanks]
+	for i := range s.perBank {
+		s.perBank[i] = 0
+	}
+	return s.perBank
+}
+
 // AtomicConflicts computes the serialization factor of a warp's shared
 // memory *atomic* access: unlike plain loads, same-word accesses cannot
 // broadcast — every lane performs a read-modify-write, so the per-bank
 // lane count (including duplicates) bounds the transactions.
 func AtomicConflicts(numBanks int, addrs []uint64, active []bool) int {
-	perBank := make(map[int]int)
+	var s BankScratch
+	return s.AtomicConflicts(numBanks, addrs, active)
+}
+
+// AtomicConflicts is the allocation-free form of the package-level
+// AtomicConflicts; it produces the identical result for identical inputs.
+func (s *BankScratch) AtomicConflicts(numBanks int, addrs []uint64, active []bool) int {
+	perBank := s.bankCounts(numBanks)
 	maxPer := 0
 	for lane, a := range addrs {
 		if lane < len(active) && !active[lane] {
@@ -64,16 +110,37 @@ func AtomicConflicts(numBanks int, addrs []uint64, active []bool) int {
 // bytes (one 128-byte line); a stride-N pattern produces up to one sector
 // per lane. The returned slice is in first-touch order.
 func CoalesceSectors(sectorBytes int, addrs []uint64, active []bool, widthBytes int) []uint64 {
-	var order []uint64
-	seen := make(map[uint64]struct{}, len(addrs))
+	return CoalesceSectorsInto(nil, sectorBytes, addrs, active, widthBytes)
+}
+
+// CoalesceSectorsInto is CoalesceSectors writing into a caller-provided
+// buffer (reused across calls to keep the simulator's hot path free of
+// heap allocation). It returns buf[:0] extended with the distinct sector
+// bases in first-touch order — identical content to CoalesceSectors.
+func CoalesceSectorsInto(buf []uint64, sectorBytes int, addrs []uint64, active []bool, widthBytes int) []uint64 {
+	// A warp produces at most 32 lanes x widthBytes/4 sector candidates;
+	// linear dedup over the output slice beats a map at that size.
+	order := buf[:0]
 	for lane, a := range addrs {
 		if lane < len(active) && !active[lane] {
 			continue
 		}
 		for w := 0; w < widthBytes; w += 4 {
 			s := (a + uint64(w)) / uint64(sectorBytes) * uint64(sectorBytes)
-			if _, ok := seen[s]; !ok {
-				seen[s] = struct{}{}
+			// Adjacent lanes usually land in the same sector (that is what
+			// coalescing means), so check the last sector first before the
+			// full dedup scan.
+			if n := len(order); n > 0 && order[n-1] == s {
+				continue
+			}
+			seen := false
+			for _, prev := range order {
+				if prev == s {
+					seen = true
+					break
+				}
+			}
+			if !seen {
 				order = append(order, s)
 			}
 		}

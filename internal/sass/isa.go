@@ -127,6 +127,10 @@ const (
 	opMax
 )
 
+// NumOpcodes is the number of opcode values (including OpInvalid); dense
+// per-opcode tables index by Opcode below this bound.
+const NumOpcodes = int(opMax)
+
 var opNames = [...]string{
 	OpInvalid: "<invalid>",
 	OpLDG:     "LDG",

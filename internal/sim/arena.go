@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"gpuscout/internal/sass"
+)
+
+// initStackCap is the divergence-stack capacity carved per warp from the
+// arena backing. Deeper nesting reallocates off-arena once and the grown
+// buffer is then retained by the slot for the rest of the launch.
+const initStackCap = 8
+
+// launchArena owns every piece of per-SM mutable warp and block state as
+// a few large flat backing slices carved into per-slot views: warp
+// structs, register files, scoreboard (regReady/regSrc), local memory,
+// divergence stacks, block structs and their shared-memory segments.
+//
+// It is allocated once per smState when the SM starts running and is
+// never freed mid-launch: when a resident block retires, its slot is
+// pushed onto freeSlots and the next pending CTA re-uses the same memory
+// after a reset (zeroing, not reallocation). This keeps the simulator
+// hot path allocation-free after launch setup — the arena
+// allocate/reset/reuse discipline described in DESIGN.md.
+//
+// A slot covers one resident block and its warpsPerBlock warps; slot
+// indices are invisible to the timing model (global warp IDs, which feed
+// scheduling order and local-memory addressing, keep increasing
+// monotonically across re-uses), so arena recycling is bit-identical to
+// the old allocate-per-block behavior.
+type launchArena struct {
+	numRegs       int
+	localBytes    int // per-thread local memory bytes
+	sharedBytes   int
+	warpsPerBlock int
+
+	warps  []warp       // slots*warpsPerBlock structs
+	blocks []blockState // one per slot
+
+	blockWarps []*warp // slots*warpsPerBlock backing for blockState.warps
+
+	regs     [][32]uint32 // slots*warpsPerBlock*numRegs
+	regReady []float64    // same shape as regs
+	regSrc   []sass.Class // same shape as regs
+	localMem []byte       // slots*warpsPerBlock*32*localBytes
+	shared   []byte       // slots*sharedBytes
+	stacks   []divEntry   // slots*warpsPerBlock*initStackCap
+
+	// freeSlots is the stack of block slots available for the next
+	// pending CTA. Popped and pushed only by the SM that owns the arena,
+	// so re-use order is deterministic.
+	freeSlots []int
+}
+
+// newLaunchArena sizes an arena for `slots` simultaneously resident
+// blocks of the current kernel and carves all per-warp views. Views are
+// carved exactly once — resets only zero their contents.
+func newLaunchArena(k *sass.Kernel, block Dim3, slots int) *launchArena {
+	wpb := (block.Count() + 31) / 32
+	a := &launchArena{
+		numRegs:       k.NumRegs,
+		localBytes:    k.LocalBytes,
+		sharedBytes:   k.SharedBytes,
+		warpsPerBlock: wpb,
+		warps:         make([]warp, slots*wpb),
+		blocks:        make([]blockState, slots),
+		blockWarps:    make([]*warp, slots*wpb),
+		regs:          make([][32]uint32, slots*wpb*k.NumRegs),
+		regReady:      make([]float64, slots*wpb*k.NumRegs),
+		regSrc:        make([]sass.Class, slots*wpb*k.NumRegs),
+		stacks:        make([]divEntry, slots*wpb*initStackCap),
+		freeSlots:     make([]int, 0, slots),
+	}
+	if k.LocalBytes > 0 {
+		a.localMem = make([]byte, slots*wpb*32*k.LocalBytes)
+	}
+	if k.SharedBytes > 0 {
+		a.shared = make([]byte, slots*k.SharedBytes)
+	}
+	for s := 0; s < slots; s++ {
+		b := &a.blocks[s]
+		b.slot = s
+		if k.SharedBytes > 0 {
+			b.shared = a.shared[s*k.SharedBytes : (s+1)*k.SharedBytes : (s+1)*k.SharedBytes]
+		}
+		for i := 0; i < wpb; i++ {
+			wi := s*wpb + i
+			w := &a.warps[wi]
+			w.regs = a.regs[wi*k.NumRegs : (wi+1)*k.NumRegs : (wi+1)*k.NumRegs]
+			w.regReady = a.regReady[wi*k.NumRegs : (wi+1)*k.NumRegs : (wi+1)*k.NumRegs]
+			w.regSrc = a.regSrc[wi*k.NumRegs : (wi+1)*k.NumRegs : (wi+1)*k.NumRegs]
+			if k.LocalBytes > 0 {
+				lb := 32 * k.LocalBytes
+				w.localMem = a.localMem[wi*lb : (wi+1)*lb : (wi+1)*lb]
+			}
+			// Three-index slicing caps the view so a deeper stack
+			// reallocates instead of stomping the neighbor's segment.
+			w.stack = a.stacks[wi*initStackCap : wi*initStackCap : (wi+1)*initStackCap]
+		}
+		a.freeSlots = append(a.freeSlots, s)
+	}
+	return a
+}
+
+// takeBlock pops a free slot and resets its block for a new CTA at idx.
+// The caller launches the warps via resetWarp. Panics if no slot is free
+// (the engine only refills after a block retired).
+func (a *launchArena) takeBlock(idx, dim Dim3) *blockState {
+	s := a.freeSlots[len(a.freeSlots)-1]
+	a.freeSlots = a.freeSlots[:len(a.freeSlots)-1]
+	b := &a.blocks[s]
+	b.idx = idx
+	b.dim = dim
+	b.liveWarps = 0
+	b.barArrived = 0
+	b.warps = a.blockWarps[s*a.warpsPerBlock : s*a.warpsPerBlock : (s+1)*a.warpsPerBlock]
+	for i := range b.shared {
+		b.shared[i] = 0
+	}
+	return b
+}
+
+// releaseBlock returns a retired block's slot to the free stack. The
+// memory is reset lazily by the next takeBlock/resetWarp.
+func (a *launchArena) releaseBlock(b *blockState) {
+	a.freeSlots = append(a.freeSlots, b.slot)
+}
+
+// resetWarp re-initializes warp i of block b (slot view selection) to
+// the state newly allocated warps had in the pre-arena simulator: zeroed
+// registers, predicates, scoreboard and local memory, empty divergence
+// stack, PC 0, and the in-block active-lane mask.
+func (a *launchArena) resetWarp(b *blockState, i, gid int) *warp {
+	w := &a.warps[b.slot*a.warpsPerBlock+i]
+	regs := w.regs
+	for j := range regs {
+		regs[j] = [32]uint32{}
+	}
+	ready := w.regReady
+	for j := range ready {
+		ready[j] = 0
+	}
+	src := w.regSrc
+	for j := range src {
+		src[j] = 0
+	}
+	for j := range w.localMem {
+		w.localMem[j] = 0
+	}
+	w.id = i
+	w.gid = gid
+	w.block = b
+	w.pc = 0
+	w.active = 0
+	w.stack = w.stack[:0]
+	w.done = false
+	w.preds = [sass.NumPreds][32]bool{}
+	w.readyAt = 0
+	w.waitReason = 0
+	w.atBarrier = false
+	w.lastStoreDone = 0
+	w.cls = wclass{}
+	w.clsValid = false
+	// Activate only lanes whose linear thread id is inside the block.
+	threads := b.dim.Count()
+	for lane := 0; lane < 32; lane++ {
+		if i*32+lane < threads {
+			w.active |= 1 << uint(lane)
+		}
+	}
+	return w
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"gpuscout/internal/sass"
 )
@@ -40,14 +41,7 @@ func b32(f float32) uint32     { return math.Float32bits(f) }
 func f64b(bits uint64) float64 { return math.Float64frombits(bits) }
 func b64(f float64) uint64     { return math.Float64bits(f) }
 
-func popcount32(m uint32) int {
-	n := 0
-	for m != 0 {
-		m &= m - 1
-		n++
-	}
-	return n
-}
+func popcount32(m uint32) int { return bits.OnesCount32(m) }
 
 // val reads a 32-bit source operand for one lane.
 func (e *engine) val(w *warp, o sass.Operand, lane int) (uint32, error) {
@@ -125,22 +119,21 @@ func (e *engine) specialVal(w *warp, sr sass.SpecialReg, lane int) uint32 {
 
 // exec functionally executes one instruction for all guarded-active lanes
 // and advances the PC. Memory behaviour is reported for the timing model.
-func (e *engine) exec(w *warp, in *sass.Inst) (ma memAccess, err error) {
+// execMask is the caller-computed guard mask (issue already needs it for
+// thread-instruction accounting; warp state is unchanged in between, so
+// computing it once is exact).
+func (e *engine) exec(w *warp, in *sass.Inst, execMask uint32) (ma memAccess, err error) {
 	defer func() {
 		if err != nil {
 			err = &execError{Kernel: e.kernel.Name, PC: in.PC, Line: in.Line, Err: err}
 		}
 	}()
 
-	execMask := w.guardMask(in)
 	nextPC := in.PC + sass.InstBytes
 
 	lanes := func(f func(lane int) error) error {
-		for lane := 0; lane < 32; lane++ {
-			if execMask&(1<<uint(lane)) == 0 {
-				continue
-			}
-			if err := f(lane); err != nil {
+		for m := execMask; m != 0; m &= m - 1 {
+			if err := f(bits.TrailingZeros32(m)); err != nil {
 				return err
 			}
 		}
@@ -149,39 +142,73 @@ func (e *engine) exec(w *warp, in *sass.Inst) (ma memAccess, err error) {
 
 	switch in.Op {
 	case sass.OpMOV, sass.OpS2R:
-		err = lanes(func(lane int) error {
-			v, err := e.val(w, in.Src[0], lane)
-			if err != nil {
-				return err
+		fastDone := false
+		if in.Op == sass.OpMOV && !in.Dst[0].Reg.IsZ() {
+			if o, ok := e.resolve32(in.Src[0]); ok {
+				dst := &w.regs[in.Dst[0].Reg]
+				for m := execMask; m != 0; m &= m - 1 {
+					lane := bits.TrailingZeros32(m)
+					dst[lane] = o.get(w, lane)
+				}
+				fastDone = true
 			}
-			w.wr(in.Dst[0].Reg, lane, v)
-			return nil
-		})
+		}
+		if !fastDone {
+			err = lanes(func(lane int) error {
+				v, err := e.val(w, in.Src[0], lane)
+				if err != nil {
+					return err
+				}
+				w.wr(in.Dst[0].Reg, lane, v)
+				return nil
+			})
+		}
 
 	case sass.OpIADD3:
 		err = e.intOp(w, in, execMask, func(a, b, c int32) int32 { return a + b + c })
 
 	case sass.OpIMAD:
 		if in.HasMod("WIDE") {
-			err = lanes(func(lane int) error {
-				a, err1 := e.val(w, in.Src[0], lane)
-				b, err2 := e.val(w, in.Src[1], lane)
-				if err1 != nil || err2 != nil {
-					return firstErr(err1, err2)
+			isU32 := in.HasMod("U32")
+			ra, ok1 := e.resolve32(in.Src[0])
+			rb, ok2 := e.resolve32(in.Src[1])
+			rc, ok3 := e.resolve64(in.Src[2])
+			if d := in.Dst[0].Reg; ok1 && ok2 && ok3 && !d.IsZ() {
+				lo, hi := &w.regs[d], &w.regs[d+1]
+				for m := execMask; m != 0; m &= m - 1 {
+					lane := bits.TrailingZeros32(m)
+					a, b := ra.get(w, lane), rb.get(w, lane)
+					var prod int64
+					if isU32 {
+						prod = int64(uint64(a) * uint64(b))
+					} else {
+						prod = int64(int32(a)) * int64(int32(b))
+					}
+					v := uint64(prod) + rc.get(w, lane)
+					lo[lane] = uint32(v)
+					hi[lane] = uint32(v >> 32)
 				}
-				c, err3 := e.val64(w, in.Src[2], lane)
-				if err3 != nil {
-					return err3
-				}
-				var prod int64
-				if in.HasMod("U32") {
-					prod = int64(uint64(a) * uint64(b))
-				} else {
-					prod = int64(int32(a)) * int64(int32(b))
-				}
-				w.wr64(in.Dst[0].Reg, lane, uint64(prod)+c)
-				return nil
-			})
+			} else {
+				err = lanes(func(lane int) error {
+					a, err1 := e.val(w, in.Src[0], lane)
+					b, err2 := e.val(w, in.Src[1], lane)
+					if err1 != nil || err2 != nil {
+						return firstErr(err1, err2)
+					}
+					c, err3 := e.val64(w, in.Src[2], lane)
+					if err3 != nil {
+						return err3
+					}
+					var prod int64
+					if isU32 {
+						prod = int64(uint64(a) * uint64(b))
+					} else {
+						prod = int64(int32(a)) * int64(int32(b))
+					}
+					w.wr64(in.Dst[0].Reg, lane, uint64(prod)+c)
+					return nil
+				})
+			}
 		} else {
 			err = e.intOp(w, in, execMask, func(a, b, c int32) int32 { return a*b + c })
 		}
@@ -246,28 +273,58 @@ func (e *engine) exec(w *warp, in *sass.Inst) (ma memAccess, err error) {
 
 	case sass.OpISETP, sass.OpFSETP:
 		isFloat := in.Op == sass.OpFSETP
-		err = lanes(func(lane int) error {
-			a, err1 := e.val(w, in.Src[0], lane)
-			b, err2 := e.val(w, in.Src[1], lane)
-			c, err3 := e.val(w, in.Src[2], lane)
-			if err := firstErr(err1, err2, err3); err != nil {
-				return err
+		isU32 := !isFloat && in.HasMod("U32")
+		cmpOp := in.Mods[0]
+		dst2 := sass.PT
+		if len(in.Dst) > 1 {
+			dst2 = in.Dst[1].Pred
+		}
+		ra, ok1 := e.resolve32(in.Src[0])
+		rb, ok2 := e.resolve32(in.Src[1])
+		rc, ok3 := e.resolve32(in.Src[2])
+		if ok1 && ok2 && ok3 {
+			dstP := in.Dst[0].Pred
+			for m := execMask; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros32(m)
+				a, b, c := ra.get(w, lane), rb.get(w, lane), rc.get(w, lane)
+				var res bool
+				if isFloat {
+					res = fcmp(cmpOp, f32(a), f32(b))
+				} else if isU32 {
+					res = ucmp(cmpOp, a, b)
+				} else {
+					res = icmp(cmpOp, int32(a), int32(b))
+				}
+				res = res && c != 0 // .AND with the source predicate
+				w.wrPred(dstP, lane, res)
+				if dst2 != sass.PT {
+					w.wrPred(dst2, lane, !res && c != 0)
+				}
 			}
-			var res bool
-			if isFloat {
-				res = fcmp(in.Mods[0], f32(a), f32(b))
-			} else if in.HasMod("U32") {
-				res = ucmp(in.Mods[0], a, b)
-			} else {
-				res = icmp(in.Mods[0], int32(a), int32(b))
-			}
-			res = res && c != 0 // .AND with the source predicate
-			w.wrPred(in.Dst[0].Pred, lane, res)
-			if len(in.Dst) > 1 && in.Dst[1].Pred != sass.PT {
-				w.wrPred(in.Dst[1].Pred, lane, !res && c != 0)
-			}
-			return nil
-		})
+		} else {
+			err = lanes(func(lane int) error {
+				a, err1 := e.val(w, in.Src[0], lane)
+				b, err2 := e.val(w, in.Src[1], lane)
+				c, err3 := e.val(w, in.Src[2], lane)
+				if err := firstErr(err1, err2, err3); err != nil {
+					return err
+				}
+				var res bool
+				if isFloat {
+					res = fcmp(cmpOp, f32(a), f32(b))
+				} else if isU32 {
+					res = ucmp(cmpOp, a, b)
+				} else {
+					res = icmp(cmpOp, int32(a), int32(b))
+				}
+				res = res && c != 0 // .AND with the source predicate
+				w.wrPred(in.Dst[0].Pred, lane, res)
+				if dst2 != sass.PT {
+					w.wrPred(dst2, lane, !res && c != 0)
+				}
+				return nil
+			})
+		}
 
 	case sass.OpFADD:
 		err = e.fOp(w, in, execMask, func(a, b, c float32) float32 { return a + b })
@@ -455,11 +512,94 @@ func (e *engine) exec(w *warp, in *sass.Inst) (ma memAccess, err error) {
 	return ma, nil
 }
 
-func (e *engine) intOp(w *warp, in *sass.Inst, mask uint32, f func(a, b, c int32) int32) error {
-	for lane := 0; lane < 32; lane++ {
-		if mask&(1<<uint(lane)) == 0 {
-			continue
+// opd32 is a source operand pre-resolved for the arithmetic fast path:
+// either a register reference or a lane-invariant value.
+type opd32 struct {
+	isReg bool
+	neg   bool
+	reg   sass.Reg
+	val   uint32
+}
+
+func (o *opd32) get(w *warp, lane int) uint32 {
+	if !o.isReg {
+		return o.val
+	}
+	v := w.regs[o.reg][lane]
+	if o.neg {
+		v ^= 0x80000000
+	}
+	return v
+}
+
+// resolve32 classifies an operand for the fast path. It mirrors val():
+// immediates and in-range constants are lane-invariant, RZ (negated or
+// not) is a lane-invariant literal, registers defer the read. Operand
+// kinds with per-lane logic beyond a register read (specials,
+// predicates) and out-of-range constants report !ok and take the
+// original per-lane path.
+func (e *engine) resolve32(o sass.Operand) (opd32, bool) {
+	switch o.Kind {
+	case sass.OpdReg:
+		if o.Reg.IsZ() {
+			var v uint32
+			if o.Neg {
+				v = 0x80000000
+			}
+			return opd32{val: v}, true
 		}
+		return opd32{isReg: true, reg: o.Reg, neg: o.Neg}, true
+	case sass.OpdImm:
+		return opd32{val: uint32(o.Imm)}, true
+	case sass.OpdConst:
+		if o.Bank != 0 || o.Imm < 0 || int(o.Imm)+4 > len(e.constMem) {
+			return opd32{}, false
+		}
+		return opd32{val: binary.LittleEndian.Uint32(e.constMem[o.Imm:])}, true
+	case sass.OpdPred:
+		// PT reads as true in every lane: val() yields 1 (0 when negated).
+		// Allocatable predicates are per-lane state — slow path.
+		if o.Pred == sass.PT {
+			if o.Neg {
+				return opd32{}, true
+			}
+			return opd32{val: 1}, true
+		}
+	}
+	return opd32{}, false
+}
+
+func (e *engine) intOp(w *warp, in *sass.Inst, mask uint32, f func(a, b, c int32) int32) error {
+	if mask == 0 {
+		return nil
+	}
+	var ops [3]opd32
+	fast := !in.Dst[0].Reg.IsZ()
+	for i := 0; fast && i < len(in.Src) && i < 3; i++ {
+		var ok bool
+		if ops[i], ok = e.resolve32(in.Src[i]); !ok {
+			fast = false
+		}
+	}
+	if fast {
+		dst := &w.regs[in.Dst[0].Reg]
+		for m := mask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			a := ops[0].get(w, lane)
+			b := ops[1].get(w, lane)
+			c := ops[2].get(w, lane)
+			dst[lane] = uint32(f(int32(a), int32(b), int32(c)))
+		}
+		return nil
+	}
+	return e.intOpSlow(w, in, mask, f)
+}
+
+// intOpSlow is the original per-lane operand path, kept for operand
+// kinds the fast path does not cover; it defines the error semantics.
+func (e *engine) intOpSlow(w *warp, in *sass.Inst, mask uint32, f func(a, b, c int32) int32) error {
+	for m := mask; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
 		a, err1 := e.val(w, in.Src[0], lane)
 		var b, c uint32
 		var err2, err3 error
@@ -478,16 +618,103 @@ func (e *engine) intOp(w *warp, in *sass.Inst, mask uint32, f func(a, b, c int32
 }
 
 func (e *engine) fOp(w *warp, in *sass.Inst, mask uint32, f func(a, b, c float32) float32) error {
-	return e.intOp(w, in, mask, func(a, b, c int32) int32 {
+	if mask == 0 {
+		return nil
+	}
+	var ops [3]opd32
+	fast := !in.Dst[0].Reg.IsZ()
+	for i := 0; fast && i < len(in.Src) && i < 3; i++ {
+		var ok bool
+		if ops[i], ok = e.resolve32(in.Src[i]); !ok {
+			fast = false
+		}
+	}
+	if fast {
+		dst := &w.regs[in.Dst[0].Reg]
+		for m := mask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			a := f32(ops[0].get(w, lane))
+			b := f32(ops[1].get(w, lane))
+			c := f32(ops[2].get(w, lane))
+			dst[lane] = b32(f(a, b, c))
+		}
+		return nil
+	}
+	return e.intOpSlow(w, in, mask, func(a, b, c int32) int32 {
 		return int32(b32(f(f32(uint32(a)), f32(uint32(b)), f32(uint32(c)))))
 	})
 }
 
-func (e *engine) dOp(w *warp, in *sass.Inst, mask uint32, f func(a, b, c float64) float64) error {
-	for lane := 0; lane < 32; lane++ {
-		if mask&(1<<uint(lane)) == 0 {
-			continue
+// opd64 mirrors opd32 for 64-bit (register-pair or constant-pair)
+// operands.
+type opd64 struct {
+	isReg bool
+	neg   bool
+	reg   sass.Reg
+	val   uint64
+}
+
+func (o *opd64) get(w *warp, lane int) uint64 {
+	if !o.isReg {
+		return o.val
+	}
+	v := uint64(w.regs[o.reg][lane]) | uint64(w.regs[o.reg+1][lane])<<32
+	if o.neg {
+		v ^= 1 << 63
+	}
+	return v
+}
+
+func (e *engine) resolve64(o sass.Operand) (opd64, bool) {
+	switch o.Kind {
+	case sass.OpdReg:
+		if o.Reg.IsZ() {
+			// val64's rd64(RZ) touches RZ+1; keep the slow path's exact
+			// behavior for this degenerate case.
+			return opd64{}, false
 		}
+		return opd64{isReg: true, reg: o.Reg, neg: o.Neg}, true
+	case sass.OpdConst:
+		if o.Bank != 0 || o.Imm < 0 || int(o.Imm)+8 > len(e.constMem) {
+			return opd64{}, false
+		}
+		return opd64{val: binary.LittleEndian.Uint64(e.constMem[o.Imm:])}, true
+	}
+	return opd64{}, false
+}
+
+func (e *engine) dOp(w *warp, in *sass.Inst, mask uint32, f func(a, b, c float64) float64) error {
+	if mask == 0 {
+		return nil
+	}
+	var ops [3]opd64
+	fast := !in.Dst[0].Reg.IsZ()
+	for i := 0; fast && i < len(in.Src) && i < 3; i++ {
+		var ok bool
+		if ops[i], ok = e.resolve64(in.Src[i]); !ok {
+			fast = false
+		}
+	}
+	if fast {
+		d := in.Dst[0].Reg
+		lo, hi := &w.regs[d], &w.regs[d+1]
+		for m := mask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			a := ops[0].get(w, lane)
+			b := ops[1].get(w, lane)
+			c := ops[2].get(w, lane)
+			v := b64(f(f64b(a), f64b(b), f64b(c)))
+			lo[lane] = uint32(v)
+			hi[lane] = uint32(v >> 32)
+		}
+		return nil
+	}
+	return e.dOpSlow(w, in, mask, f)
+}
+
+func (e *engine) dOpSlow(w *warp, in *sass.Inst, mask uint32, f func(a, b, c float64) float64) error {
+	for m := mask; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
 		a, err1 := e.val64(w, in.Src[0], lane)
 		var b, c uint64
 		var err2, err3 error

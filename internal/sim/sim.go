@@ -67,6 +67,16 @@ type engine struct {
 	reconvPC  []uint64
 	hasReconv []bool
 
+	// Per-instruction register lists, precomputed once per launch so the
+	// scheduler's eligibility test (classify) and writeback (setDstReady)
+	// never re-derive operands on the hot path. depRegs[i] is instruction
+	// i's sources followed by its destinations — the exact order the old
+	// per-issue SrcRegs+DstRegs calls produced, which the strict-`>`
+	// tie-break in classify depends on. Both are views into one flat
+	// backing slice.
+	depRegs [][]sass.Reg
+	dstRegs [][]sass.Reg
+
 	// localBase is a synthetic address region where per-thread local
 	// memory lives for cache-modeling purposes.
 	localBase uint64
@@ -153,6 +163,7 @@ func LaunchContext(ctx context.Context, dev *Device, spec LaunchSpec, cfg Config
 			e.reconvPC[i], e.hasReconv[i] = pc, ok
 		}
 	}
+	e.precomputeRegLists()
 
 	// Distribute blocks round-robin over all NumSMs; simulate a sample.
 	totalBlocks := spec.Grid.Count()
@@ -338,6 +349,32 @@ func (e *engine) ipdomPC(idx int) (uint64, bool) {
 	return e.reconvPC[idx], e.hasReconv[idx]
 }
 
+// precomputeRegLists builds e.depRegs / e.dstRegs: per-instruction
+// dependency (sources then destinations) and destination register lists,
+// carved out of two flat backing slices once the totals are known.
+func (e *engine) precomputeRegLists() {
+	insts := e.kernel.Insts
+	var depFlat, dstFlat []sass.Reg
+	depEnd := make([]int, len(insts))
+	dstEnd := make([]int, len(insts))
+	for i := range insts {
+		in := &insts[i]
+		depFlat = in.SrcRegs(depFlat)
+		depFlat = in.DstRegs(depFlat)
+		depEnd[i] = len(depFlat)
+		dstFlat = in.DstRegs(dstFlat)
+		dstEnd[i] = len(dstFlat)
+	}
+	e.depRegs = make([][]sass.Reg, len(insts))
+	e.dstRegs = make([][]sass.Reg, len(insts))
+	start, dstart := 0, 0
+	for i := range insts {
+		e.depRegs[i] = depFlat[start:depEnd[i]:depEnd[i]]
+		e.dstRegs[i] = dstFlat[dstart:dstEnd[i]:dstEnd[i]]
+		start, dstart = depEnd[i], dstEnd[i]
+	}
+}
+
 // newSM builds the per-SM timing state with this SM's bandwidth slices,
 // its own counters, and its deterministic global-warp-ID base.
 func (e *engine) newSM(id, gidBase int) *smState {
@@ -362,12 +399,11 @@ func (e *engine) newSM(id, gidBase int) *smState {
 			Name: "lts", TotalBytes: l2SliceBytes, LineBytes: a.L2LineBytes,
 			SectorBytes: a.L1SectorBytes, Ways: a.L2Ways,
 		}),
-		lsu:     memsys.NewBandwidth(float64(a.L1SectorBytes)), // 1 sector/cycle
-		texu:    memsys.NewBandwidth(float64(a.L1SectorBytes)), // 1 sector/cycle
-		mio:     memsys.NewBandwidth(1),                        // 1 transaction/cycle
-		l2bw:    memsys.NewBandwidth(a.L2BWBytes / float64(a.NumSMs)),
-		dram:    memsys.NewBandwidth(a.DRAMBWBytes / float64(a.NumSMs)),
-		scratch: make([]sass.Reg, 0, 16),
+		lsu:  memsys.NewBandwidth(float64(a.L1SectorBytes)), // 1 sector/cycle
+		texu: memsys.NewBandwidth(float64(a.L1SectorBytes)), // 1 sector/cycle
+		mio:  memsys.NewBandwidth(1),                        // 1 transaction/cycle
+		l2bw: memsys.NewBandwidth(a.L2BWBytes / float64(a.NumSMs)),
+		dram: memsys.NewBandwidth(a.DRAMBWBytes / float64(a.NumSMs)),
 	}
 }
 
@@ -381,6 +417,13 @@ func (e *engine) runSM(ctx context.Context, sm *smState, blockIdxs []Dim3) error
 	if resident > len(blockIdxs) {
 		resident = len(blockIdxs)
 	}
+	// All mutable warp/block state for this SM lives in one arena sized
+	// for the resident-block window; slots recycle as CTAs retire. The
+	// dense stall/opcode counters are folded into the map-shaped Counters
+	// once at the end.
+	sm.arena = newLaunchArena(e.kernel, e.block, resident)
+	sm.pcStalls = make([][NumStalls]float64, len(e.kernel.Insts)+1)
+	sm.opcodeDyn = make([]uint64, sass.NumOpcodes)
 	for i := 0; i < resident; i++ {
 		e.launchBlock(sm, blockIdxs[i])
 	}
@@ -391,6 +434,14 @@ func (e *engine) runSM(ctx context.Context, sm *smState, blockIdxs []Dim3) error
 		numSched = 4
 	}
 
+	// prevDT is the last round's time step, attributed to the warps'
+	// end-of-round classifications during the next round's scan. Folding
+	// the attribution pass into the classification pass visits the same
+	// live warps in the same gid order with the same skips (issued and
+	// newly launched warps have clsValid=false, done warps are compacted
+	// out where the old pass skipped them), so every per-counter float
+	// accumulation sequence is unchanged.
+	prevDT := 0.0
 	for iter := 0; ; iter++ {
 		// Cancellation poll: cheap enough amortized over 1024 scheduler
 		// rounds, frequent enough that a daemon's per-job timeout actually
@@ -403,18 +454,58 @@ func (e *engine) runSM(ctx context.Context, sm *smState, blockIdxs []Dim3) error
 			default:
 			}
 		}
-		// Completion check and per-warp classification. Snapshot the warp
-		// list: issuing an EXIT can retire a block and launch a pending
-		// one, appending warps that are only considered next iteration.
-		// Classifications are cached: a blocked warp cannot unblock before
-		// its recorded event, so it is only re-examined then (or when its
-		// own state changes).
+		// Housekeeping between scheduler rounds — never mid-iteration, so
+		// snapshots of the warp list below stay valid. First compact done
+		// warps out (every remaining loop skips them anyway; removal keeps
+		// the scans short), then recycle freed arena slots for pending
+		// CTAs. Refilling here instead of inside retireWarp is timing-
+		// equivalent: new warps were only ever considered starting the
+		// next round, and their readyAt is a don't-care below sm.now.
+		if sm.needCompact {
+			sm.needCompact = false
+			live := sm.warps[:0]
+			for _, w := range sm.warps {
+				if !w.done {
+					live = append(live, w)
+				}
+			}
+			// Nil the tail so retired-block pointers don't pin recycled
+			// slots' previous contents in scans.
+			for i := len(live); i < len(sm.warps); i++ {
+				sm.warps[i] = nil
+			}
+			sm.warps = live
+		}
+		for len(sm.pending) > 0 && len(sm.arena.freeSlots) > 0 {
+			idx := sm.pending[0]
+			sm.pending = sm.pending[1:]
+			e.launchBlock(sm, idx)
+		}
+
+		// Single scan: attribute the previous round's stall cycles, check
+		// completion, (re-)classify, and collect this round's scheduling
+		// inputs — each scheduler's first eligible warp in gid order and
+		// the earliest unblock event. Issuing an EXIT can mark warps done
+		// mid-round; they are compacted out only at the top of the next
+		// round, so the snapshot taken here stays valid. Classifications
+		// are cached: a blocked warp cannot unblock before its recorded
+		// event, so it is only re-examined then (or when its own state
+		// changes).
 		warps := sm.warps
 		liveWarps := 0
 		allDone := true
+		nextEvent := math.Inf(1)
+		var firstElig [8]*warp
 		for _, w := range warps {
 			if w.done {
 				continue
+			}
+			if prevDT > 0 && w.clsValid {
+				reason := w.cls.reason
+				if w.cls.eligible {
+					reason = StallNotSelected
+				}
+				sm.addStall(w.cls.pc, reason, prevDT)
 			}
 			allDone = false
 			liveWarps++
@@ -422,34 +513,28 @@ func (e *engine) runSM(ctx context.Context, sm *smState, blockIdxs []Dim3) error
 				w.cls = e.classify(sm, w)
 				w.clsValid = true
 			}
+			if w.cls.eligible {
+				if s := w.gid % numSched; firstElig[s] == nil {
+					firstElig[s] = w
+				}
+			}
+			if w.cls.event < nextEvent {
+				nextEvent = w.cls.event
+			}
 		}
 		if allDone {
-			if len(sm.pending) > 0 {
-				// Should be unreachable: retireWarp refills eagerly.
-				idx := sm.pending[0]
-				sm.pending = sm.pending[1:]
-				e.launchBlock(sm, idx)
-				continue
-			}
 			break
 		}
 
 		// Scheduling: each scheduler issues at most one eligible warp,
-		// greedy-then-oldest.
+		// greedy-then-oldest. Issuing never flips another warp's cached
+		// eligibility (barrier releases and retires only clear clsValid),
+		// so the candidates collected above are exact.
 		issued := 0
 		for sched := 0; sched < numSched; sched++ {
-			var pick *warp
+			pick := firstElig[sched]
 			if last := sm.lastPick[sched]; last != nil && !last.done && last.cls.eligible {
 				pick = last
-			}
-			if pick == nil {
-				for _, w := range warps {
-					if w.done || w.gid%numSched != sched || !w.cls.eligible {
-						continue
-					}
-					pick = w
-					break
-				}
 			}
 			if pick == nil {
 				continue
@@ -459,25 +544,19 @@ func (e *engine) runSM(ctx context.Context, sm *smState, blockIdxs []Dim3) error
 			if err := e.issue(sm, pick); err != nil {
 				return err
 			}
-			sm.counters.addStall(pc, StallSelected, 1)
+			sm.addStall(pc, StallSelected, 1)
 			pick.cls.eligible = false
 			pick.cls.reason = StallSelected
 			pick.clsValid = false
 			issued++
 		}
 
-		// Advance time and attribute stall cycles.
+		// Advance time. With no issue this round, nothing changed since
+		// the scan, so the collected nextEvent is still the earliest
+		// possible unblock.
 		dt := 1.0
 		if issued == 0 {
-			next := math.Inf(1)
-			for _, w := range warps {
-				if w.done {
-					continue
-				}
-				if t := w.cls.event; t < next {
-					next = t
-				}
-			}
+			next := nextEvent
 			if math.IsInf(next, 1) {
 				return fmt.Errorf("sim: deadlock on SM %d at cycle %.0f (kernel %s): all %d warps blocked",
 					sm.id, sm.now, e.kernel.Name, liveWarps)
@@ -487,26 +566,14 @@ func (e *engine) runSM(ctx context.Context, sm *smState, blockIdxs []Dim3) error
 			}
 			dt = next - sm.now
 		}
-		for _, w := range warps {
-			if w.done || (!w.clsValid && w.cls.reason == StallSelected) {
-				continue
-			}
-			if !w.clsValid {
-				// Just issued this cycle; already attributed as selected.
-				continue
-			}
-			reason := w.cls.reason
-			if w.cls.eligible {
-				reason = StallNotSelected
-			}
-			sm.counters.addStall(w.cls.pc, reason, dt)
-		}
 		sm.counters.ActiveWarpCycles += float64(liveWarps) * dt
+		prevDT = dt
 		sm.now += dt
 		if sm.now > e.cfg.MaxCycles {
 			return fmt.Errorf("sim: kernel %s exceeded %g cycles on SM %d", e.kernel.Name, e.cfg.MaxCycles, sm.id)
 		}
 	}
+	sm.foldDense()
 	sm.counters.SMBusyCycles = sm.now
 	return nil
 }

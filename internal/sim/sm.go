@@ -12,6 +12,9 @@ import (
 // longer occupy a slot.
 type queueRing struct {
 	times []float64
+	// scratch is the reusable selection buffer of admit; it never holds
+	// state between calls.
+	scratch []float64
 }
 
 func (q *queueRing) push(t float64) { q.times = append(q.times, t) }
@@ -43,7 +46,10 @@ func (q *queueRing) earliest() float64 {
 
 // admit returns the earliest time >= now at which a new entry fits under
 // the given capacity: when full, a request waits for the k-th soonest
-// completion. Models MSHR admission.
+// completion. Models MSHR admission. The order statistic is found by
+// quickselect over a reusable scratch buffer — O(n) expected and
+// allocation-free once warm, where the old copy + insertion sort was
+// O(n²) with a fresh slice on every MSHR-full event.
 func (q *queueRing) admit(now float64, capacity int) float64 {
 	n := q.inflight(now)
 	if n < capacity {
@@ -51,17 +57,52 @@ func (q *queueRing) admit(now float64, capacity int) float64 {
 	}
 	// Need (n - capacity + 1) completions; find that order statistic.
 	need := n - capacity + 1
-	tmp := append([]float64(nil), q.times...)
-	sortFloats(tmp)
-	return tmp[need-1]
+	q.scratch = append(q.scratch[:0], q.times...)
+	return kthSmallest(q.scratch, need-1)
 }
 
-func sortFloats(a []float64) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
+// kthSmallest returns the k-th smallest value (0-based) of a, partially
+// reordering it in place. Hoare-partition quickselect with
+// median-of-three pivoting; the k-th order statistic is unique, so the
+// result does not depend on pivot choices or tie ordering.
+func kthSmallest(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return a[k]
 		}
 	}
+	return a[lo]
 }
 
 // smState is the timing state of one simulated streaming multiprocessor.
@@ -94,13 +135,68 @@ type smState struct {
 	sfuFree  float64
 	atomFree float64
 
-	warps   []*warp
-	blocks  []*blockState
-	pending []Dim3 // block indices not yet launched
+	// arena owns all warp/block backing memory for this SM; block slots
+	// are recycled (reset, not reallocated) as CTAs retire and pending
+	// ones launch.
+	arena *launchArena
+
+	// warps lists live (not yet done) warps in global-warp-ID order. Done
+	// warps are compacted out at the top of the scheduler loop, never
+	// mid-iteration, so snapshots taken by the loop stay valid.
+	warps       []*warp
+	needCompact bool
+	pending     []Dim3 // block indices not yet launched
 
 	lastPick [8]*warp // per-scheduler greedy pointer (GTO)
 
-	scratch []sass.Reg
+	// Dense hot-path counters, folded into the exported Counters maps
+	// once at the end of runSM. pcStalls is indexed by instruction index
+	// (pc / InstBytes) with one extra slot for the synthetic
+	// past-the-end reconvergence PC; opcodeDyn by opcode value.
+	pcStalls  [][NumStalls]float64
+	opcodeDyn []uint64
+
+	// Reusable scratch for the memory timing path.
+	sectorBuf []uint64
+	banks     memsys.BankScratch
+}
+
+// addStall attributes dt warp-cycles of stall reason `reason` at pc,
+// writing the dense per-instruction slice instead of a map.
+func (sm *smState) addStall(pc uint64, reason Stall, dt float64) {
+	sm.counters.StallCycles[reason] += dt
+	idx := int(pc / sass.InstBytes)
+	if idx >= len(sm.pcStalls) {
+		idx = len(sm.pcStalls) - 1
+	}
+	sm.pcStalls[idx][reason] += dt
+}
+
+// foldDense materializes the dense stall/opcode counters into the
+// exported Counters maps — once per launch, in instruction order, with
+// exactly the keys the map-based hot path would have produced.
+func (sm *smState) foldDense() {
+	for idx := range sm.pcStalls {
+		arr := &sm.pcStalls[idx]
+		touched := false
+		for s := Stall(0); s < NumStalls; s++ {
+			if arr[s] != 0 {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		dst := new([NumStalls]float64)
+		*dst = *arr
+		sm.counters.PCStalls[uint64(idx)*sass.InstBytes] = dst
+	}
+	for op, n := range sm.opcodeDyn {
+		if n != 0 {
+			sm.counters.OpcodeDyn[sass.Opcode(op)] = n
+		}
+	}
 }
 
 // classification of one warp at one instant.
@@ -127,9 +223,9 @@ func (e *engine) classify(sm *smState, w *warp) wclass {
 		return wclass{reason: StallDrain, event: math.Inf(1), pc: w.pc}
 	}
 
-	// Register dependencies (dynamic scoreboard).
-	regs := in.SrcRegs(sm.scratch[:0])
-	regs = in.DstRegs(regs)
+	// Register dependencies (dynamic scoreboard), from the per-launch
+	// precomputed source+destination register lists.
+	regs := e.depRegs[int(w.pc/sass.InstBytes)]
 	var blockUntil float64
 	var blockClass sass.Class
 	blocked := false
@@ -194,7 +290,7 @@ func stallForClass(c sass.Class) Stall {
 func (e *engine) issue(sm *smState, w *warp) error {
 	in := e.kernel.InstAt(w.pc)
 	execMask := w.guardMask(in)
-	ma, err := e.exec(w, in)
+	ma, err := e.exec(w, in, execMask)
 	if err != nil {
 		return err
 	}
@@ -202,7 +298,7 @@ func (e *engine) issue(sm *smState, w *warp) error {
 	c := sm.counters
 	c.WarpInsts++
 	c.ThreadInsts += uint64(popcount32(execMask))
-	c.OpcodeDyn[in.Op]++
+	sm.opcodeDyn[in.Op]++
 
 	a := &e.arch
 	w.readyAt = sm.now + 1
@@ -251,7 +347,7 @@ func (e *engine) issue(sm *smState, w *warp) error {
 }
 
 func (e *engine) setDstReady(sm *smState, w *warp, in *sass.Inst, latency float64, src sass.Class) {
-	for _, r := range in.DstRegs(sm.scratch[:0]) {
+	for _, r := range e.dstRegs[int(in.PC/sass.InstBytes)] {
 		if int(r) < len(w.regReady) {
 			w.regReady[r] = sm.now + latency
 			w.regSrc[r] = src
@@ -272,7 +368,8 @@ func (e *engine) memTiming(sm *smState, w *warp, in *sass.Inst, ma memAccess) {
 
 	switch ma.space {
 	case sass.ClassGlobal, sass.ClassLocal:
-		sectors := memsys.CoalesceSectors(a.L1SectorBytes, ma.addrs[:], active[:], ma.width)
+		sectors := memsys.CoalesceSectorsInto(sm.sectorBuf, a.L1SectorBytes, ma.addrs[:], active[:], ma.width)
+		sm.sectorBuf = sectors[:0]
 		done := now
 		svcEnd := now
 		if ma.atomic {
@@ -368,10 +465,10 @@ func (e *engine) memTiming(sm *smState, w *warp, in *sass.Inst, ma memAccess) {
 			// Shared atomics serialize per lane on conflicting banks and
 			// words in the MIO pipe (§4.4: cheaper than global, but loads
 			// the MIO pipeline).
-			trans = memsys.AtomicConflicts(a.SharedBanks, ma.addrs[:], active[:])
+			trans = sm.banks.AtomicConflicts(a.SharedBanks, ma.addrs[:], active[:])
 			c.SharedAtomics += uint64(popcount32(ma.mask))
 		} else {
-			trans = memsys.BankConflicts(a.SharedBanks, ma.addrs[:], active[:], ma.width)
+			trans = sm.banks.BankConflicts(a.SharedBanks, ma.addrs[:], active[:], ma.width)
 		}
 		if trans == 0 {
 			trans = 1
@@ -396,7 +493,8 @@ func (e *engine) memTiming(sm *smState, w *warp, in *sass.Inst, ma memAccess) {
 		}
 
 	case sass.ClassTexture:
-		sectors := memsys.CoalesceSectors(a.L1SectorBytes, ma.addrs[:], active[:], ma.width)
+		sectors := memsys.CoalesceSectorsInto(sm.sectorBuf, a.L1SectorBytes, ma.addrs[:], active[:], ma.width)
+		sm.sectorBuf = sectors[:0]
 		done := now
 		svcEnd := now
 		for _, s := range sectors {
@@ -474,39 +572,42 @@ func (e *engine) checkBarrier(sm *smState, b *blockState) {
 	b.barArrived = 0
 }
 
-// retireWarp handles warp completion: barrier re-check and block refill.
+// retireWarp handles warp completion. When the whole block retires its
+// arena slot is released; the scheduler loop recycles it for a pending
+// CTA at the top of its next iteration (never mid-iteration, so the
+// loop's warp-list snapshot stays valid and scheduling order matches the
+// old allocate-on-retire behavior exactly).
 func (e *engine) retireWarp(sm *smState, w *warp) {
 	b := w.block
 	b.liveWarps--
+	sm.needCompact = true
 	if b.liveWarps > 0 {
 		e.checkBarrier(sm, b)
 		return
 	}
-	// Block finished: launch a pending block if any.
-	if len(sm.pending) == 0 {
-		return
+	// Block finished: drop greedy-scheduler pointers into its warps (the
+	// structs are about to be recycled; the old path left them done
+	// forever, which the greedy check rejected the same way), then free
+	// the slot.
+	for i, lp := range sm.lastPick {
+		if lp != nil && lp.block == b {
+			sm.lastPick[i] = nil
+		}
 	}
-	idx := sm.pending[0]
-	sm.pending = sm.pending[1:]
-	e.launchBlock(sm, idx)
+	sm.arena.releaseBlock(b)
 }
 
-// launchBlock creates a resident block and its warps on the SM.
+// launchBlock makes a CTA resident, recycling a free arena slot.
 func (e *engine) launchBlock(sm *smState, idx Dim3) {
-	nb := &blockState{idx: idx, dim: e.block}
-	if e.kernel.SharedBytes > 0 {
-		nb.shared = make([]byte, e.kernel.SharedBytes)
-	}
-	threads := e.block.Count()
-	warps := (threads + 31) / 32
+	nb := sm.arena.takeBlock(idx, e.block)
+	warps := sm.arena.warpsPerBlock
 	nb.liveWarps = warps
 	for i := 0; i < warps; i++ {
-		w := newWarp(i, sm.nextGid, nb, e.kernel.NumRegs, e.kernel.LocalBytes)
+		w := sm.arena.resetWarp(nb, i, sm.nextGid)
 		sm.nextGid++
 		w.readyAt = sm.now
 		w.waitReason = StallWait
 		nb.warps = append(nb.warps, w)
 		sm.warps = append(sm.warps, w)
 	}
-	sm.blocks = append(sm.blocks, nb)
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/bits"
+
 	"gpuscout/internal/sass"
 )
 
@@ -37,10 +39,14 @@ type divEntry struct {
 	joined    uint32
 }
 
-// blockState is the shared state of one resident CTA.
+// blockState is the shared state of one resident CTA. Block structs,
+// their warps, and the shared-memory segment all live in the SM's
+// launchArena; slot names the arena slot so a retired block's memory can
+// be recycled for the next pending CTA.
 type blockState struct {
 	idx        Dim3 // blockIdx
 	dim        Dim3 // blockDim
+	slot       int  // arena slot owning this block's backing memory
 	shared     []byte
 	warps      []*warp
 	liveWarps  int // warps not yet done
@@ -48,7 +54,10 @@ type blockState struct {
 }
 
 // warp is the execution state of one 32-thread warp: functional registers
-// and divergence state, plus the timing fields the SM engine drives.
+// and divergence state, plus the timing fields the SM engine drives. The
+// slice fields (regs, regReady, regSrc, localMem, stack) are views into
+// the owning SM's launchArena, carved once at launch and zeroed — not
+// reallocated — when the warp slot is recycled for a new CTA.
 type warp struct {
 	id     int // warp index within the block
 	gid    int // global warp index (for stable scheduling order)
@@ -76,28 +85,6 @@ type warp struct {
 	// warp's state changes).
 	cls      wclass
 	clsValid bool
-}
-
-func newWarp(id, gid int, block *blockState, numRegs, localBytes int) *warp {
-	w := &warp{
-		id:    id,
-		gid:   gid,
-		block: block,
-		regs:  make([][32]uint32, numRegs),
-	}
-	if localBytes > 0 {
-		w.localMem = make([]byte, 32*localBytes)
-	}
-	w.regReady = make([]float64, numRegs)
-	w.regSrc = make([]sass.Class, numRegs)
-	// Activate only lanes whose linear thread id is inside the block.
-	threads := block.dim.Count()
-	for lane := 0; lane < 32; lane++ {
-		if id*32+lane < threads {
-			w.active |= 1 << uint(lane)
-		}
-	}
-	return w
 }
 
 // laneTid returns the (x,y,z) thread index of a lane in this warp.
@@ -156,10 +143,8 @@ func (w *warp) guardMask(in *sass.Inst) uint32 {
 		return w.active
 	}
 	var m uint32
-	for lane := 0; lane < 32; lane++ {
-		if w.active&(1<<uint(lane)) == 0 {
-			continue
-		}
+	for act := w.active; act != 0; act &= act - 1 {
+		lane := bits.TrailingZeros32(act)
 		v := w.rdPred(in.Pred, lane)
 		if in.PredNeg {
 			v = !v
