@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos serve bench-parallel fmt-check
+.PHONY: check build vet test race chaos cluster-test serve bench-parallel fmt-check
 
 check: build vet race
 
@@ -25,6 +25,15 @@ race:
 # fault site, under the race detector (see DESIGN.md §10).
 chaos:
 	$(GO) test -race -tags faultinject -run 'Chaos' -timeout 30m ./...
+
+# In-process multi-replica cluster suite: 5 workers + a coordinator on
+# loopback, Zipf-skewed load, mid-load failover, batch fan-out — run
+# repeatedly under the race detector as a bounded soak (~30s), plus the
+# worker-side batch/cache/backpressure tests it builds on.
+cluster-test:
+	$(GO) test -race -count=3 -timeout 15m ./internal/cluster/
+	$(GO) test -race -run 'Batch|Healthz|Churn|DurationRing|ConcurrentSubmissions' \
+		-timeout 10m ./internal/service/
 
 # Run the analysis service locally.
 serve:

@@ -3,12 +3,25 @@
 // a worker pool, a content-addressed report cache, and Prometheus-format
 // metrics. Stdlib only.
 //
+// It runs in one of three modes:
+//
+//	standalone (default)  one self-contained daemon
+//	worker                a cluster replica: standalone + peer cache-fill
+//	coordinator           routes /v1/analyze to worker replicas by
+//	                      consistent hashing on the input fingerprint
+//
 //	gpuscoutd -addr :8090 -workers 4 -queue 64 -cache 256
+//
+//	# a three-replica cluster on one host
+//	gpuscoutd -mode worker -addr :8091 -self http://127.0.0.1:8091 \
+//	          -replicas http://127.0.0.1:8091,http://127.0.0.1:8092,http://127.0.0.1:8093 &
+//	...(8092, 8093 likewise)...
+//	gpuscoutd -mode coordinator -addr :8090 \
+//	          -replicas http://127.0.0.1:8091,http://127.0.0.1:8092,http://127.0.0.1:8093
 //
 //	curl -s localhost:8090/v1/workloads
 //	curl -s -X POST localhost:8090/v1/analyze -d '{"workload":"sgemm_naive","scale":128}'
-//	curl -s -X POST 'localhost:8090/v1/analyze?async=1' -d '{"workload":"jacobi_naive"}'
-//	curl -s localhost:8090/v1/jobs/j00000002
+//	curl -s -X POST localhost:8090/v1/analyze/batch -d '{"requests":[{"workload":"jacobi_naive"},{"workload":"jacobi_naive"}]}'
 //	curl -s localhost:8090/metrics
 package main
 
@@ -21,6 +34,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -30,11 +45,14 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":8090", "listen address")
+		mode     = flag.String("mode", "standalone", "process role: standalone, worker (replica with peer cache-fill), or coordinator")
+		version  = flag.Bool("version", false, "print version and exit")
 		workers  = flag.Int("workers", 0, "concurrent analysis workers (0 = #CPUs, capped at 8)")
 		queue    = flag.Int("queue", 64, "bounded job-queue depth (full queue => 429)")
 		cache    = flag.Int("cache", 256, "report-cache capacity in entries (negative disables)")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "default per-job timeout")
 		maxBody  = flag.Int64("max-upload", 8<<20, "max request body bytes (SASS/cubin uploads)")
+		maxBatch = flag.Int("max-batch", 4096, "max requests per /v1/analyze/batch body")
 		retained = flag.Int("retained-jobs", 1024, "finished jobs kept for GET /v1/jobs/{id}")
 		simW     = flag.Int("sim-workers", 1, "default per-launch simulation parallelism (sampled SMs simulated concurrently); jobs may override via sim_workers")
 		budgetsF = flag.String("stage-budgets", "", `per-stage deadline split "parse,sim,scout,verify" (e.g. "5,55,15,25"; "off" disables staged degradation; empty = defaults)`)
@@ -42,8 +60,41 @@ func main() {
 		backoff  = flag.Duration("retry-backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, capped, jittered)")
 		quarAft  = flag.Int("quarantine-after", 2, "consecutive failures before an input is quarantined (negative disables)")
 		quarCool = flag.Duration("quarantine-cooldown", 30*time.Second, "how long a quarantined input stays rejected before a probe is admitted")
+
+		replicasF = flag.String("replicas", "", "comma-separated replica base URLs — the cluster's static member list (worker and coordinator modes)")
+		selfF     = flag.String("self", "", "this worker's own advertised base URL, as it appears in -replicas (worker mode)")
+		vnodes    = flag.Int("vnodes", 0, "virtual nodes per replica on the consistent-hash ring (0 = default; must match across the cluster)")
+		healthIv  = flag.Duration("health-interval", 2*time.Second, "coordinator /readyz poll period per replica")
+		peerTmo   = flag.Duration("peer-timeout", 750*time.Millisecond, "worker peer cache-fill budget before falling back to local simulation")
+		proxyTmo  = flag.Duration("proxy-timeout", 5*time.Minute, "coordinator per-attempt proxy timeout")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("gpuscoutd %s (%s, %s/%s)\n",
+			gpuscout.ServiceVersion(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		return
+	}
+
+	replicas := splitList(*replicasF)
+	switch *mode {
+	case "standalone", "worker", "coordinator":
+	default:
+		fmt.Fprintf(os.Stderr, "gpuscoutd: unknown -mode %q (want standalone, worker, or coordinator)\n", *mode)
+		os.Exit(2)
+	}
+
+	if *mode == "coordinator" {
+		runCoordinator(*addr, gpuscout.ClusterConfig{
+			Replicas:       replicas,
+			VNodes:         *vnodes,
+			HealthInterval: *healthIv,
+			ProxyTimeout:   *proxyTmo,
+			MaxUploadBytes: *maxBody,
+			MaxBatchItems:  *maxBatch,
+		})
+		return
+	}
 
 	budgets, err := gpuscout.ParseStageBudgets(*budgetsF)
 	if err != nil {
@@ -51,12 +102,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	svc, err := gpuscout.NewService(gpuscout.ServiceConfig{
+	cfg := gpuscout.ServiceConfig{
 		Workers:            *workers,
 		QueueDepth:         *queue,
 		CacheEntries:       *cache,
 		DefaultTimeout:     *timeout,
 		MaxUploadBytes:     *maxBody,
+		MaxBatchItems:      *maxBatch,
 		MaxJobsRetained:    *retained,
 		SimWorkers:         *simW,
 		StageBudgets:       budgets,
@@ -64,41 +116,80 @@ func main() {
 		RetryBackoff:       *backoff,
 		QuarantineAfter:    *quarAft,
 		QuarantineCooldown: *quarCool,
-	})
+		Mode:               *mode,
+	}
+	if *mode == "worker" {
+		if len(replicas) == 0 || *selfF == "" {
+			fmt.Fprintln(os.Stderr, "gpuscoutd: -mode worker needs -replicas and -self")
+			os.Exit(2)
+		}
+		pc := gpuscout.NewPeerCache(replicas, strings.TrimRight(*selfF, "/"), gpuscout.PeerCacheConfig{
+			VNodes:  *vnodes,
+			Timeout: *peerTmo,
+		})
+		cfg.PeerFill = pc.Fill
+	}
+
+	svc, err := gpuscout.NewService(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpuscoutd:", err)
 		os.Exit(1)
 	}
+	serve(*addr, *mode, svc.Handler(), svc.BeginShutdown, svc.Close)
+}
 
+// runCoordinator brings up the cluster front-end: health polling first
+// (one synchronous sweep), then the proxy.
+func runCoordinator(addr string, cfg gpuscout.ClusterConfig) {
+	coord, err := gpuscout.NewCoordinator(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpuscoutd:", err)
+		os.Exit(2)
+	}
+	coord.Start()
+	serve(addr, "coordinator", coord.Handler(), coord.BeginShutdown, coord.Close)
+}
+
+// serve runs the HTTP server with the shared graceful-shutdown order:
+// flip /readyz to 503 so load balancers stop routing, stop accepting
+// connections, then drain the core.
+func serve(addr, mode string, h http.Handler, beginShutdown, closeCore func()) {
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Addr:              addr,
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-
-	// Graceful shutdown, in readiness-first order: flip /readyz to 503 so
-	// load balancers stop routing, then stop accepting connections, then
-	// cancel every queued/running job and drain the worker pool.
 	idle := make(chan struct{})
 	go func() {
 		sigc := make(chan os.Signal, 1)
 		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 		<-sigc
 		log.Print("gpuscoutd: shutting down")
-		svc.BeginShutdown()
+		beginShutdown()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("gpuscoutd: shutdown: %v", err)
 		}
-		svc.Close()
+		closeCore()
 		close(idle)
 	}()
 
-	log.Printf("gpuscoutd: listening on %s", *addr)
+	log.Printf("gpuscoutd: %s %s listening on %s", mode, gpuscout.ServiceVersion(), addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "gpuscoutd:", err)
 		os.Exit(1)
 	}
 	<-idle
+}
+
+// splitList parses a comma-separated URL list, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(strings.TrimRight(part, "/")); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

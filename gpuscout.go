@@ -29,6 +29,7 @@ import (
 	"os"
 
 	"gpuscout/internal/advisor"
+	"gpuscout/internal/cluster"
 	"gpuscout/internal/codegen"
 	"gpuscout/internal/cubin"
 	"gpuscout/internal/gpu"
@@ -323,6 +324,40 @@ type AnalyzeServiceRequest = service.AnalyzeRequest
 // NewService builds the analysis service and starts its worker pool;
 // call Close to drain it.
 func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// ServiceVersion identifies the gpuscoutd build (see /healthz and the
+// -version flag).
+func ServiceVersion() string { return service.Version }
+
+// --- Clustered gpuscoutd ---
+
+// Coordinator fronts a fleet of gpuscoutd worker replicas: consistent-
+// hash routing by input fingerprint (cache affinity), failover along
+// the ring, replica-aware backpressure, and batch fan-out. Serve its
+// Handler() with net/http; call Start() first and Close() on shutdown.
+type Coordinator = cluster.Coordinator
+
+// ClusterConfig tunes the coordinator (replica list, vnodes, health
+// poll interval, proxy/batch limits).
+type ClusterConfig = cluster.Config
+
+// NewCoordinator builds a coordinator over a static replica list.
+func NewCoordinator(cfg ClusterConfig) (*Coordinator, error) { return cluster.New(cfg) }
+
+// PeerCache is the worker-side half of the cluster's two-tier cache:
+// wire its Fill method into ServiceConfig.PeerFill so local cache
+// misses try the ring owner's cache before re-simulating.
+type PeerCache = cluster.PeerCache
+
+// PeerCacheConfig tunes the peer cache-fill client.
+type PeerCacheConfig = cluster.PeerCacheConfig
+
+// NewPeerCache builds the fill client for one worker replica. replicas
+// must be the same static list the coordinator is configured with, and
+// self this worker's own advertised URL.
+func NewPeerCache(replicas []string, self string, cfg PeerCacheConfig) *PeerCache {
+	return cluster.NewPeerCache(replicas, self, cfg)
+}
 
 // AnalyzeWorkloadContext is AnalyzeWorkload with cancellation, the path
 // the gpuscoutd daemon uses for per-job timeouts.

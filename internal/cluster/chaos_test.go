@@ -1,0 +1,166 @@
+//go:build faultinject
+
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"gpuscout/internal/faultinject"
+	"gpuscout/internal/service"
+)
+
+// TestClusterChaosSlowPeerFill arms a delay past the peer-fill budget:
+// the owner's fill attempt must burn its window and degrade to local
+// simulation — the request succeeds, it just isn't free.
+func TestClusterChaosSlowPeerFill(t *testing.T) {
+	defer faultinject.Reset()
+	tc := startCluster(t, 3, service.Config{Workers: 2, QueueDepth: 16, CacheEntries: 64})
+
+	req := clusterKernelReq(900)
+	fp := req.Fingerprint()
+	cands := tc.coord.Ring().Owners(fp, 3)
+	owner, successor := cands[0], cands[1]
+
+	// The successor holds the report (warmed before any fault is armed).
+	if resp, body := postJSON(t, successor+"/v1/analyze", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm successor: status %d, body %s", resp.StatusCode, body)
+	}
+
+	// A healthy fill would now succeed; a slow peer must not.
+	disarm, err := faultinject.Arm(faultinject.Fault{
+		Site:  "cluster.peerfill",
+		Mode:  faultinject.ModeDelay,
+		Delay: 1200 * time.Millisecond, // past the 750ms default budget
+		Times: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+
+	resp, body := postJSON(t, owner+"/v1/analyze", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("owner analyze under slow peer: status %d, body %s", resp.StatusCode, body)
+	}
+	var st service.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("state = %s (%s), want done via local simulation", st.State, st.Error)
+	}
+	if st.CacheHit {
+		t.Error("response claims a cache hit although the fill timed out")
+	}
+	if v := scrapeMetric(t, owner, "gpuscoutd_peer_fill_misses_total"); v < 1 {
+		t.Errorf("owner peer_fill_misses = %g, want >= 1", v)
+	}
+	if v := scrapeMetric(t, owner, "gpuscoutd_cache_misses_total"); v != 1 {
+		t.Errorf("owner simulated %g times, want 1 (local fallback)", v)
+	}
+	if n := faultinject.Fired("cluster.peerfill"); n != 1 {
+		t.Errorf("peerfill fault fired %d times, want 1", n)
+	}
+}
+
+// TestClusterChaosDeadOwnerProxy arms a single-shot transport error on
+// the proxy path: the owner "dies" between the health poll and the
+// forward, and the coordinator must fail over along the ring without
+// the client noticing anything but the answer.
+func TestClusterChaosDeadOwnerProxy(t *testing.T) {
+	defer faultinject.Reset()
+	tc := startCluster(t, 3, service.Config{Workers: 2, QueueDepth: 16, CacheEntries: 64})
+
+	req := clusterKernelReq(910)
+	resp, body := postJSON(t, tc.front.URL+"/v1/analyze", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup: status %d, body %s", resp.StatusCode, body)
+	}
+	var warm service.Status
+	if err := json.Unmarshal(body, &warm); err != nil {
+		t.Fatal(err)
+	}
+
+	disarm, err := faultinject.Arm(faultinject.Fault{
+		Site:  "cluster.proxy",
+		Mode:  faultinject.ModeError,
+		Times: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+
+	resp, body = postJSON(t, tc.front.URL+"/v1/analyze", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze with dying owner: status %d, want 200 via failover (body %s)", resp.StatusCode, body)
+	}
+	var st service.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+	if !bytes.Equal(st.Report, warm.Report) {
+		t.Error("failover report differs from the owner's original")
+	}
+	if v := scrapeMetric(t, tc.front.URL, "gpuscoutd_cluster_failovers_total"); v < 1 {
+		t.Errorf("failovers = %g, want >= 1", v)
+	}
+	if v := scrapeMetric(t, tc.front.URL, "gpuscoutd_cluster_affinity_breaks_total"); v < 1 {
+		t.Errorf("affinity breaks = %g, want >= 1 (the key left its owner)", v)
+	}
+}
+
+// TestClusterChaosPartialBatchFailure arms a single-shot error on the
+// sub-batch send: one owner's whole sub-batch is stranded, and the
+// second fan-out round must re-route every stranded item to a live
+// replica — the batch completes with zero failed entries.
+func TestClusterChaosPartialBatchFailure(t *testing.T) {
+	defer faultinject.Reset()
+	tc := startCluster(t, 3, service.Config{Workers: 2, QueueDepth: 32, CacheEntries: 256})
+
+	const items = 8
+	batch := service.BatchRequest{}
+	for i := 0; i < items; i++ {
+		batch.Requests = append(batch.Requests, clusterKernelReq(920+i))
+	}
+
+	disarm, err := faultinject.Arm(faultinject.Fault{
+		Site:  "cluster.batch",
+		Mode:  faultinject.ModeError,
+		Times: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+
+	resp, body := postJSON(t, tc.front.URL+"/v1/analyze/batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d, body %s", resp.StatusCode, body)
+	}
+	var out service.BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decode batch response: %v", err)
+	}
+	if len(out.Results) != items {
+		t.Fatalf("got %d results, want %d", len(out.Results), items)
+	}
+	for i, st := range out.Results {
+		if st.State != service.StateDone {
+			t.Errorf("result %d: state %s (%s) — stranded items must be re-routed, not failed", i, st.State, st.Error)
+		}
+	}
+	if v := scrapeMetric(t, tc.front.URL, "gpuscoutd_cluster_batch_reroutes_total"); v < 1 {
+		t.Errorf("batch reroutes = %g, want >= 1", v)
+	}
+	if n := faultinject.Fired("cluster.batch"); n != 1 {
+		t.Errorf("batch fault fired %d times, want 1", n)
+	}
+}

@@ -1,0 +1,179 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// BatchRequest is the body of POST /v1/analyze/batch: many analysis
+// requests in one round trip. Items sharing a fingerprint are folded
+// into one job *before* enqueue — N identical cubins cost one
+// simulation — and the response streams one Status per item, in request
+// order, as results become available.
+type BatchRequest struct {
+	Requests []AnalyzeRequest `json:"requests"`
+}
+
+// BatchResponse is the decoded shape of the batch response stream (the
+// handler writes it incrementally; clients that don't care about
+// streaming can unmarshal the whole body into this).
+type BatchResponse struct {
+	Results []Status `json:"results"`
+}
+
+// batchEnqueueTimeout bounds how long the handler waits for queue
+// capacity across a whole batch before failing the remaining items: a
+// saturated daemon should degrade a batch into per-item errors, not
+// hold the connection open forever.
+const batchEnqueueTimeout = 2 * time.Minute
+
+// handleAnalyzeBatch implements POST /v1/analyze/batch. The pipeline-
+// relevant property is dedupe-before-enqueue: concurrent identical
+// items in one batch would otherwise all miss the cache and each burn a
+// worker on the same simulation.
+func (s *Service) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var batch BatchRequest
+	if err := dec.Decode(&batch); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decode batch: "+err.Error())
+		return
+	}
+	n := len(batch.Requests)
+	if n == 0 {
+		writeError(w, http.StatusBadRequest, "batch holds no requests")
+		return
+	}
+	if n > s.cfg.MaxBatchItems {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch holds %d requests, limit %d", n, s.cfg.MaxBatchItems))
+		return
+	}
+	// Validate everything up front: a malformed item fails the whole
+	// batch with its index, before any work is enqueued.
+	for i := range batch.Requests {
+		if err := batch.Requests[i].validate(); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("request %d: %v", i, err))
+			return
+		}
+	}
+	s.batchRequests.Inc()
+	s.batchItems.Add(uint64(n))
+
+	// Dedupe by input fingerprint: one job per distinct input, shared by
+	// every item that carries it.
+	type slot struct {
+		req AnalyzeRequest
+		job *Job
+		err error
+	}
+	var uniq []*slot
+	fpTo := map[string]int{}
+	idx := make([]int, n) // item index -> uniq index
+	for i := range batch.Requests {
+		fp := batch.Requests[i].Fingerprint()
+		if u, ok := fpTo[fp]; ok {
+			idx[i] = u
+			s.batchDeduped.Inc()
+			continue
+		}
+		fpTo[fp] = len(uniq)
+		idx[i] = len(uniq)
+		uniq = append(uniq, &slot{req: batch.Requests[i]})
+	}
+
+	// Enqueue each unique job, waiting out transient queue-full periods:
+	// a batch is allowed to be larger than the bounded queue — items
+	// trickle in as workers drain it — but a wedged queue fails the
+	// remaining items instead of blocking forever.
+	cancelAll := func() {
+		for _, u := range uniq {
+			if u.job != nil {
+				u.job.Cancel()
+			}
+		}
+	}
+	deadline := time.Now().Add(batchEnqueueTimeout)
+	for _, u := range uniq {
+		for {
+			if r.Context().Err() != nil {
+				cancelAll()
+				return
+			}
+			j, err := s.Submit(u.req)
+			if err == nil {
+				u.job = j
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				// Quarantined or shutting down: a per-item error entry,
+				// not a batch failure.
+				u.err = err
+				break
+			}
+			if time.Now().After(deadline) {
+				u.err = fmt.Errorf("batch enqueue timed out: %w", err)
+				break
+			}
+			select {
+			case <-time.After(10 * time.Millisecond):
+			case <-r.Context().Done():
+				cancelAll()
+				return
+			}
+		}
+	}
+
+	// Stream the results in request order. Duplicates resolve to the
+	// same job, so their Status entries share one report.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if _, err := w.Write([]byte(`{"results":[`)); err != nil {
+		cancelAll()
+		return
+	}
+	for i := 0; i < n; i++ {
+		u := uniq[idx[i]]
+		var st Status
+		switch {
+		case u.err != nil:
+			st = Status{State: StateFailed, Error: u.err.Error()}
+		default:
+			select {
+			case <-u.job.Done():
+				st = u.job.Snapshot()
+			case <-r.Context().Done():
+				cancelAll()
+				return
+			}
+		}
+		if i > 0 {
+			if _, err := w.Write([]byte(",")); err != nil {
+				cancelAll()
+				return
+			}
+		}
+		b, err := json.Marshal(st)
+		if err != nil {
+			b, _ = json.Marshal(Status{State: StateFailed, Error: "encode status: " + err.Error()})
+		}
+		if _, err := w.Write(b); err != nil {
+			cancelAll()
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_, _ = w.Write([]byte("]}"))
+}

@@ -1,0 +1,206 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gpuscout/internal/cubin"
+	"gpuscout/internal/sass"
+)
+
+func postBatch(t *testing.T, ts *httptest.Server, batch BatchRequest) (*http.Response, BatchResponse) {
+	t.Helper()
+	body, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/analyze/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/analyze/batch: %v", err)
+	}
+	defer resp.Body.Close()
+	var out BatchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode batch response: %v", err)
+		}
+	}
+	return resp, out
+}
+
+// batchKernelSASS builds a tiny valid kernel whose name and immediate
+// vary with i, giving each i a distinct input fingerprint while keeping
+// the analysis static-only (fast).
+func batchKernelSASS(t *testing.T, i int) string {
+	t.Helper()
+	k := &sass.Kernel{
+		Name: fmt.Sprintf("_Z5bat%02dPf", i), Arch: "sm_70", NumRegs: 8, ConstBytes: 0x170,
+		SourceFile: "batch.cu",
+		Source:     []string{"__global__ void bat(float* x) {", "  x[0] = 1.0f;", "}"},
+	}
+	ctrl := sass.DefaultCtrl()
+	k.Insts = []sass.Inst{
+		{Pred: sass.PT, Op: sass.OpMOV, Dst: []sass.Operand{sass.R(0)}, Src: []sass.Operand{sass.Imm(int64(0x1000 + i))}, Ctrl: ctrl, Line: 2},
+		{Pred: sass.PT, Op: sass.OpSTG, Mods: []string{"E", "SYS"}, Dst: []sass.Operand{sass.Mem(2, 0)}, Src: []sass.Operand{sass.R(0)}, Ctrl: ctrl, Line: 2},
+		{Pred: sass.PT, Op: sass.OpEXIT, Ctrl: ctrl, Line: 3},
+	}
+	k.RenumberPCs()
+	return sass.Print(k)
+}
+
+// TestBatchDedupeIdenticalCubins is the acceptance flow for batch
+// dedupe: N items carrying byte-identical cubins cost exactly one
+// simulation. Every item still gets its own Status entry.
+func TestBatchDedupeIdenticalCubins(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 16})
+
+	bin := cubin.New("sm_70")
+	if err := bin.Add(testKernel(t)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := cubin.Encode(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	batch := BatchRequest{}
+	for i := 0; i < n; i++ {
+		batch.Requests = append(batch.Requests, AnalyzeRequest{Cubin: data})
+	}
+	resp, out := postBatch(t, ts, batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d", resp.StatusCode)
+	}
+	if len(out.Results) != n {
+		t.Fatalf("got %d results, want %d", len(out.Results), n)
+	}
+	for i, st := range out.Results {
+		if st.State != StateDone {
+			t.Fatalf("result %d: state %s (%s)", i, st.State, st.Error)
+		}
+		if !bytes.Equal(st.Report, out.Results[0].Report) {
+			t.Errorf("result %d: report differs from result 0", i)
+		}
+	}
+	if misses := metricValue(t, ts, "gpuscoutd_cache_misses_total"); misses != 1 {
+		t.Errorf("cache misses = %g, want 1 (N identical cubins must cost one run)", misses)
+	}
+	if deduped := metricValue(t, ts, "gpuscoutd_batch_deduped_total"); deduped != n-1 {
+		t.Errorf("batch deduped = %g, want %d", deduped, n-1)
+	}
+	if items := metricValue(t, ts, "gpuscoutd_batch_items_total"); items != n {
+		t.Errorf("batch items = %g, want %d", items, n)
+	}
+}
+
+// TestBatchOrderAndMixedInputs interleaves duplicates of distinct
+// kernels and checks the response preserves request order: result i
+// must carry the report for the kernel request i named.
+func TestBatchOrderAndMixedInputs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 16})
+
+	// 3 distinct kernels, each submitted 3 times, interleaved.
+	order := []int{0, 1, 2, 2, 0, 1, 1, 2, 0}
+	batch := BatchRequest{}
+	for _, k := range order {
+		batch.Requests = append(batch.Requests, AnalyzeRequest{SASS: batchKernelSASS(t, k)})
+	}
+	resp, out := postBatch(t, ts, batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d", resp.StatusCode)
+	}
+	if len(out.Results) != len(order) {
+		t.Fatalf("got %d results, want %d", len(out.Results), len(order))
+	}
+	for i, st := range out.Results {
+		if st.State != StateDone {
+			t.Fatalf("result %d: state %s (%s)", i, st.State, st.Error)
+		}
+		wantName := fmt.Sprintf("_Z5bat%02dPf", order[i])
+		if !bytes.Contains(st.Report, []byte(wantName)) {
+			t.Errorf("result %d: report does not mention %s — order not preserved", i, wantName)
+		}
+	}
+	if misses := metricValue(t, ts, "gpuscoutd_cache_misses_total"); misses != 3 {
+		t.Errorf("cache misses = %g, want 3 (one per distinct kernel)", misses)
+	}
+	if deduped := metricValue(t, ts, "gpuscoutd_batch_deduped_total"); deduped != 6 {
+		t.Errorf("batch deduped = %g, want 6", deduped)
+	}
+}
+
+// TestBatchValidation covers the batch-level 400/413 paths: empty
+// batches, malformed items (failing the whole batch with the offending
+// index), and an item count beyond MaxBatchItems.
+func TestBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, MaxBatchItems: 4})
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/analyze/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post(`{"requests":[]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"requests":[{"workload":"transpose_naive"},{}]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid item: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	big := `{"requests":[` + strings.Repeat(`{"workload":"transpose_naive","dry_run":true},`, 4) +
+		`{"workload":"transpose_naive","dry_run":true}]}`
+	if resp := post(big); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestHealthzInfoBody pins the /healthz JSON contract the cluster
+// tooling reads: version and build info, process mode, worker count,
+// and live queue depth.
+func TestHealthzInfoBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3, QueueDepth: 7, Mode: "worker"})
+
+	var hz struct {
+		Status       string  `json:"status"`
+		Version      string  `json:"version"`
+		Go           string  `json:"go"`
+		Mode         string  `json:"mode"`
+		Workers      int     `json:"workers"`
+		QueueDepth   float64 `json:"queue_depth"`
+		CacheEntries float64 `json:"cache_entries"`
+	}
+	resp := getJSON(t, ts.URL+"/healthz", &hz)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+	if hz.Status != "ok" {
+		t.Errorf("status = %q, want ok", hz.Status)
+	}
+	if hz.Version != Version {
+		t.Errorf("version = %q, want %q", hz.Version, Version)
+	}
+	if !strings.HasPrefix(hz.Go, "go") {
+		t.Errorf("go = %q, want a go version string", hz.Go)
+	}
+	if hz.Mode != "worker" {
+		t.Errorf("mode = %q, want worker", hz.Mode)
+	}
+	if hz.Workers != 3 {
+		t.Errorf("workers = %d, want 3", hz.Workers)
+	}
+	if hz.QueueDepth != 0 {
+		t.Errorf("queue_depth = %g, want 0 on an idle daemon", hz.QueueDepth)
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 )
@@ -16,10 +18,13 @@ import (
 // The HTTP layer maps it to 422 with the prior failure message.
 var ErrQuarantined = errors.New("service: input quarantined")
 
-// fingerprint identifies the analysis input for quarantine purposes:
-// everything that determines what the pipeline will execute, nothing
-// that merely tunes how (timeout, sim_workers, sampling period).
-func (r *AnalyzeRequest) fingerprint() string {
+// Fingerprint identifies the analysis input: everything that determines
+// what the pipeline will execute, nothing that merely tunes how
+// (timeout, sim_workers, sampling period). It keys the quarantine
+// breaker, batch deduplication, and — in a cluster — the coordinator's
+// consistent-hash routing, so repeated submissions of the same input
+// land on the same replica's cache.
+func (r *AnalyzeRequest) Fingerprint() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "workload=%s\x00scale=%d\x00sass=%s\x00cubin=%x\x00kernel=%s\x00arch=%s\x00dry=%t\x00verify=%t",
 		r.Workload, r.Scale, r.SASS, r.Cubin, r.Kernel, r.Arch, r.DryRun, r.Verify)
@@ -151,16 +156,32 @@ func (r *durationRing) record(d time.Duration) {
 	r.mu.Unlock()
 }
 
-// mean returns the average recorded duration (0 with no samples).
-func (r *durationRing) mean() time.Duration {
+// quantile returns the q-th quantile (0 < q ≤ 1) of the recorded
+// durations, 0 with no samples. The Retry-After estimate uses p75
+// rather than the mean: job durations are heavily skewed (cache hits
+// are microseconds, cold simulations are seconds), and under that skew
+// the mean is dragged toward whichever class happens to dominate the
+// window — a client told to come back too soon just gets shed again.
+// A p75 over the ring tracks the slow class as soon as it is a quarter
+// of the traffic.
+func (r *durationRing) quantile(q float64) time.Duration {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.n == 0 {
 		return 0
 	}
-	var sum time.Duration
-	for i := 0; i < r.n; i++ {
-		sum += r.buf[i]
+	s := make([]time.Duration, r.n)
+	copy(s, r.buf[:r.n])
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if q <= 0 {
+		return s[0]
 	}
-	return sum / time.Duration(r.n)
+	if q >= 1 {
+		return s[r.n-1]
+	}
+	idx := int(math.Ceil(q*float64(r.n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
 }

@@ -1,9 +1,12 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"gpuscout/internal/scout"
@@ -35,6 +38,53 @@ func TestReportCacheLRU(t *testing.T) {
 	}
 	if c.size() != 2 {
 		t.Errorf("size = %d after overwrite, want 2", c.size())
+	}
+}
+
+// TestReportCacheConcurrentChurn hammers a tiny cache with parallel
+// get/put churn over a key space 4× its capacity (run under -race in
+// CI): the capacity bound must hold at every observation point, and a
+// get must never return bytes that belong to a different key — the
+// "stale bytes" failure a broken map/list pairing would produce.
+func TestReportCacheConcurrentChurn(t *testing.T) {
+	const (
+		capacity   = 8
+		keySpace   = 32
+		goroutines = 8
+		ops        = 4000
+	)
+	c := newReportCache(capacity)
+	payload := func(k int) []byte { return []byte(fmt.Sprintf("report-%03d-payload", k)) }
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				k := rng.Intn(keySpace)
+				key := fmt.Sprintf("key-%03d", k)
+				if rng.Intn(2) == 0 {
+					c.put(key, payload(k))
+				} else if data, ok := c.get(key); ok && !bytes.Equal(data, payload(k)) {
+					t.Errorf("stale bytes for %s: got %q", key, data)
+				}
+				if i%64 == 0 {
+					if s := c.size(); s > capacity {
+						t.Errorf("size %d exceeds capacity %d mid-churn", s, capacity)
+					}
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	if s := c.size(); s > capacity {
+		t.Errorf("final size %d exceeds capacity %d", s, capacity)
+	}
+	// The cache must still behave after the storm.
+	c.put("after", []byte("A"))
+	if data, ok := c.get("after"); !ok || string(data) != "A" {
+		t.Errorf("cache broken after churn: %q %v", data, ok)
 	}
 }
 

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDurationRingQuantile pins the Retry-After estimator's input on
+// skewed samples: the mean is dragged toward whichever duration class
+// dominates the window, while p75 tracks the slow class as soon as it
+// is a quarter of the traffic — the case the table's "slow majority"
+// rows demonstrate (mean well under the value p75 reports).
+func TestDurationRingQuantile(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		name    string
+		size    int
+		samples []time.Duration
+		q       float64
+		want    time.Duration
+	}{
+		{"empty", 8, nil, 0.75, 0},
+		{"single", 8, []time.Duration{ms(5000)}, 0.75, ms(5000)},
+		{"uniform", 8, []time.Duration{ms(100), ms(100), ms(100)}, 0.75, ms(100)},
+		// Slow majority with a fast tail: mean = 1525ms lies below every
+		// slow job; p75 answers with the slow class.
+		{"slow majority", 8, []time.Duration{ms(100), ms(2000), ms(2000), ms(2000)}, 0.75, ms(2000)},
+		// Cache-hit-dominated window: hits are ~0, one cold simulation.
+		// p75 stays at the hit cost — backpressure needn't scare clients
+		// away while most answers are instant.
+		{"hit dominated", 8, []time.Duration{0, 0, 0, ms(8000)}, 0.75, 0},
+		// Exactly at the 3/4 boundary with mixed order (quantile sorts).
+		{"unsorted", 8, []time.Duration{ms(900), ms(10), ms(500), ms(100)}, 0.75, ms(500)},
+		{"q=1 is max", 8, []time.Duration{ms(10), ms(700), ms(40)}, 1, ms(700)},
+		{"q=0 is min", 8, []time.Duration{ms(10), ms(700), ms(40)}, 0, ms(10)},
+		// Ring wraps: only the last `size` samples count. The four huge
+		// early samples are overwritten by 4 later ones.
+		{"wraparound", 4, []time.Duration{ms(60000), ms(60000), ms(60000), ms(60000), ms(10), ms(20), ms(30), ms(40)}, 0.75, ms(30)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newDurationRing(tc.size)
+			for _, d := range tc.samples {
+				r.record(d)
+			}
+			if got := r.quantile(tc.q); got != tc.want {
+				t.Errorf("quantile(%g) over %v = %v, want %v", tc.q, tc.samples, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDurationRingQuantileVsMeanSkew documents the satellite fix
+// directly: under a slow-majority skew the old mean-based estimate
+// undershoots the real per-job wait, p75 does not.
+func TestDurationRingQuantileVsMeanSkew(t *testing.T) {
+	r := newDurationRing(32)
+	var sum time.Duration
+	samples := []time.Duration{
+		50 * time.Millisecond, 80 * time.Millisecond, // two cache-ish jobs
+		3 * time.Second, 3 * time.Second, 3 * time.Second, 3 * time.Second,
+		3 * time.Second, 3 * time.Second, // six cold simulations
+	}
+	for _, d := range samples {
+		r.record(d)
+		sum += d
+	}
+	mean := sum / time.Duration(len(samples))
+	p75 := r.quantile(0.75)
+	if p75 != 3*time.Second {
+		t.Fatalf("p75 = %v, want 3s", p75)
+	}
+	if mean >= p75 {
+		t.Fatalf("test premise broken: mean %v not below p75 %v", mean, p75)
+	}
+}

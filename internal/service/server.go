@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"runtime"
 	"strconv"
 
 	"gpuscout/internal/workloads"
@@ -11,22 +12,26 @@ import (
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST   /v1/analyze          submit a job; ?async=1 returns 202 + job ID
-//	GET    /v1/jobs/{id}        job status (+ report JSON when done)
-//	DELETE /v1/jobs/{id}        cancel a queued or running job
-//	GET    /v1/workloads        list built-in workload names
-//	GET    /healthz             liveness probe (200 while the process runs)
-//	GET    /readyz              readiness probe (503 when saturated or draining)
-//	GET    /metrics             Prometheus text-format metrics
+//	POST   /v1/analyze            submit a job; ?async=1 returns 202 + job ID
+//	POST   /v1/analyze/batch      many requests at once, deduped by fingerprint
+//	GET    /v1/jobs/{id}          job status (+ report JSON when done)
+//	DELETE /v1/jobs/{id}          cancel a queued or running job
+//	GET    /v1/workloads          list built-in workload names
+//	GET    /internal/v1/cache/{key}  peer cache-fill: raw cached report bytes
+//	GET    /healthz               liveness probe (200 + build/mode info)
+//	GET    /readyz                readiness probe (503 when saturated or draining)
+//	GET    /metrics               Prometheus text-format metrics
 //
 // Builds tagged `faultinject` additionally expose /debug/faultinject for
 // arming chaos faults (absent from production builds).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/analyze/batch", s.handleAnalyzeBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /internal/v1/cache/{key}", s.handleCacheGet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -138,13 +143,36 @@ func (s *Service) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"workloads": workloads.Names()})
 }
 
+// handleCacheGet is the peer cache-fill endpoint: a replica that misses
+// locally asks the ring owner for the raw cached report bytes before it
+// re-simulates. 404 means "not here either — simulate". The path is
+// namespaced /internal because it exposes cache internals keyed by
+// CacheKey, not a public API surface.
+func (s *Service) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.cache.get(r.PathValue("key"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "cache miss")
+		return
+	}
+	s.peerServes.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
 // handleHealthz is the liveness probe: 200 as long as the process can
-// serve HTTP at all, even while draining. Restart decisions key on this.
+// serve HTTP at all, even while draining. Restart decisions key on
+// this; the body carries build and role info so operators and cluster
+// membership checks can tell replicas apart.
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
-		"uptime_seconds": s.Uptime().Seconds(),
+		"version":        Version,
+		"go":             runtime.Version(),
+		"mode":           s.cfg.Mode,
+		"workers":        s.cfg.Workers,
 		"queue_depth":    s.pool.depth(),
+		"cache_entries":  s.cache.size(),
+		"uptime_seconds": s.Uptime().Seconds(),
 	})
 }
 

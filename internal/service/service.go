@@ -70,6 +70,23 @@ type Config struct {
 	// QuarantineCooldown is how long an open breaker rejects a
 	// fingerprint before admitting a probe attempt (default 30s).
 	QuarantineCooldown time.Duration
+	// Mode labels this process's role in a deployment ("standalone",
+	// "worker" behind a coordinator, or "coordinator"); it is surfaced
+	// by /healthz so operators and cluster membership checks can tell
+	// replicas apart (default "standalone").
+	Mode string
+	// MaxBatchItems caps how many requests one POST /v1/analyze/batch
+	// body may carry (default 4096).
+	MaxBatchItems int
+	// PeerFill, when set, is consulted after a local cache miss and
+	// before the pipeline runs: given the job's input fingerprint and
+	// report cache key it may return the marshaled report bytes from a
+	// peer replica's cache (the cluster's two-tier cache-fill protocol).
+	// A returned report is stored locally and served as a cache hit; a
+	// miss, error, or timeout inside the hook silently falls through to
+	// local simulation — peer fill is an optimization, never a
+	// dependency.
+	PeerFill func(ctx context.Context, fingerprint, cacheKey string) ([]byte, bool)
 	// SimWorkers is the default per-launch simulation parallelism
 	// (sim.Config.Workers) for jobs that don't set sim_workers. The
 	// default is 1: the pool already runs Workers jobs concurrently, so
@@ -104,6 +121,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.SimWorkers <= 0 {
 		c.SimWorkers = 1
+	}
+	if c.Mode == "" {
+		c.Mode = "standalone"
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 4096
 	}
 	if c.RetryAttempts <= 0 {
 		c.RetryAttempts = 2
@@ -145,6 +168,12 @@ type Service struct {
 	jobsFinished  map[State]*Counter
 	cacheHits     *Counter
 	cacheMisses   *Counter
+	peerFillHits  *Counter
+	peerFillMiss  *Counter
+	peerServes    *Counter
+	batchRequests *Counter
+	batchItems    *Counter
+	batchDeduped  *Counter
 	stageDuration map[string]*Histogram
 	simWall       *Histogram
 	simSpeedup    *Histogram
@@ -190,6 +219,18 @@ func New(cfg Config) (*Service, error) {
 	r.NewGaugeFunc("gpuscoutd_cache_entries",
 		"Reports currently cached.",
 		func() float64 { return float64(s.cache.size()) })
+	s.peerFillHits = r.NewCounter("gpuscoutd_peer_fill_hits_total",
+		"Local cache misses served by a peer replica's cache (two-tier fill).")
+	s.peerFillMiss = r.NewCounter("gpuscoutd_peer_fill_misses_total",
+		"Peer cache-fill attempts that fell through to local simulation.")
+	s.peerServes = r.NewCounter("gpuscoutd_peer_cache_serves_total",
+		"Cache entries served to peer replicas via /internal/v1/cache.")
+	s.batchRequests = r.NewCounter("gpuscoutd_batch_requests_total",
+		"POST /v1/analyze/batch requests accepted.")
+	s.batchItems = r.NewCounter("gpuscoutd_batch_items_total",
+		"Analysis requests carried inside batch bodies.")
+	s.batchDeduped = r.NewCounter("gpuscoutd_batch_deduped_total",
+		"Batch items that shared a fingerprint with an earlier item in the same batch and were folded into its job before enqueue.")
 	s.stageDuration = map[string]*Histogram{}
 	for _, stage := range []string{"build", "analyze", "verify", "encode"} {
 		s.stageDuration[stage] = r.NewHistogram("gpuscoutd_stage_seconds",
@@ -285,14 +326,17 @@ func (s *Service) Ready() (bool, string) {
 }
 
 // retryAfterSeconds estimates when a shed client should come back:
-// (queued jobs + 1) × mean recent job duration, spread over the worker
-// count, clamped to [1, 30] seconds.
+// (queued jobs + 1) × the p75 of recent job durations, spread over the
+// worker count, clamped to [1, 30] seconds. p75 rather than the mean:
+// durations are skewed (cache hits vs cold simulations), and a mean
+// dominated by hits tells clients to come back long before the queue of
+// cold jobs can possibly have drained.
 func (s *Service) retryAfterSeconds() int {
-	mean := s.durations.mean()
-	if mean <= 0 {
-		mean = time.Second
+	est75 := s.durations.quantile(0.75)
+	if est75 <= 0 {
+		est75 = time.Second
 	}
-	est := float64(mean) * float64(s.pool.depth()+1) / float64(s.cfg.Workers)
+	est := float64(est75) * float64(s.pool.depth()+1) / float64(s.cfg.Workers)
 	secs := int(math.Ceil(est / float64(time.Second)))
 	if secs < 1 {
 		secs = 1
@@ -310,7 +354,7 @@ func (s *Service) Submit(req AnalyzeRequest) (*Job, error) {
 	if err := req.validate(); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
-	fp := req.fingerprint()
+	fp := req.Fingerprint()
 	if err := s.breaker.check(fp); err != nil {
 		s.quarantined.Inc()
 		return nil, err
@@ -453,6 +497,21 @@ func (s *Service) executeAttempt(j *Job) error {
 		s.cacheHits.Inc()
 		j.finish(s.countFinish(StateDone), data, "", true)
 		return nil
+	}
+
+	// Stage 2b: peer cache-fill — in a cluster, a key this replica has
+	// never seen may already be warm in the ring owner's cache (the key
+	// was rebalanced here, or we are taking failover traffic). One
+	// bounded peer lookup is far cheaper than re-simulating; any failure
+	// falls through to the pipeline.
+	if s.cfg.PeerFill != nil {
+		if data, ok := s.cfg.PeerFill(j.ctx, j.fingerprint, key); ok && len(data) > 0 {
+			s.peerFillHits.Inc()
+			s.cache.put(key, data)
+			j.finish(s.countFinish(StateDone), data, "", true)
+			return nil
+		}
+		s.peerFillMiss.Inc()
 	}
 	s.cacheMisses.Inc()
 

@@ -170,7 +170,9 @@ func TestCacheScaleMiss(t *testing.T) {
 // Retry-After on the next submission.
 func TestQueueBackpressure(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
-	slow := `{"workload":"sgemm_naive"}` // full three-pillar run: seconds
+	// Full three-pillar run at a scale that stays in flight long enough
+	// for the cancel below to land while the job is still running.
+	slow := `{"workload":"sgemm_naive","scale":512}`
 
 	// Job 1: wait until it occupies the single worker.
 	resp, body := postAnalyze(t, ts, "?async=1", slow)

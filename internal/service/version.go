@@ -1,0 +1,9 @@
+package service
+
+// Version identifies the gpuscoutd build. It is surfaced by /healthz
+// (alongside the process mode) and by `gpuscoutd -version`, so cluster
+// membership checks and operators can tell replicas — and mixed-version
+// rollouts — apart. Release builds may override it via
+//
+//	go build -ldflags "-X gpuscout/internal/service.Version=..."
+var Version = "0.7.0-dev"
