@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos cluster-test serve bench-parallel fmt-check
+.PHONY: check build vet test race chaos cluster-test serve bench-parallel fmt-check test-arch arch-report
 
 check: build vet race
 
@@ -54,3 +54,31 @@ bench-parallel:
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "$$out"; exit 1; fi
+
+# Per-architecture suite (CI: strategy.matrix.arch). sm70 runs the
+# golden suite that proves the Volta backend is byte-identical to the
+# pre-refactor compiler; sm80 runs the Ampere golden suite (cp.async
+# lowering). Both run that backend's negative suite and lowering unit
+# tests. Golden -run patterns are anchored: an unanchored
+# 'TestGoldenReports' would also select the SM80 variant.
+ARCH ?= sm70
+test-arch:
+	@case "$(ARCH)" in \
+	sm70) \
+		$(GO) test ./internal/advisor/ -run 'TestGoldenReports$$' -timeout 15m && \
+		$(GO) test ./internal/scout/ -run 'TestDetectors(SilentOnOptimizedVariants|FireOnBaselines)/sm_70' && \
+		$(GO) test ./internal/codegen/ -run 'TestSM70LoweringIsIdentity' ;; \
+	sm80) \
+		$(GO) test ./internal/advisor/ -run 'TestGoldenReportsSM80$$' -timeout 15m && \
+		$(GO) test ./internal/scout/ -run 'TestDetectors(SilentOnOptimizedVariants|FireOnBaselines)/sm_80' && \
+		$(GO) test ./internal/codegen/ -run 'TestSM80FusesAsyncCopy|TestFusionSkipsIneligibleLoads|TestAsyncCopyExecutes' ;; \
+	*) echo "unknown ARCH=$(ARCH) (want sm70 or sm80)"; exit 2 ;; \
+	esac
+
+# Render the verified cross-arch comparison for one workload (uploaded
+# as a CI artifact by the arch-matrix job; also a local smoke test of
+# the -arch-compare path).
+WORKLOAD ?= sgemm_shared
+arch-report:
+	$(GO) run ./cmd/gpuscout -workload $(WORKLOAD) -scale 64 \
+		-arch sm70 -arch-compare sm80 -verify

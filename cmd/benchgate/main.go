@@ -130,6 +130,14 @@ func main() {
 		}
 		os.Stdout.Write(append(data, '\n'))
 	} else if *out != "" {
+		// Trend line against the most recent prior run — selected by
+		// date, not file position (see latestEntry). Unreadable history
+		// is not fatal here; appendEntry will surface it.
+		if entries, err := loadTrajectory(*out); err == nil {
+			if prev, ok := latestEntry(entries); ok {
+				printTrend(prev, rep)
+			}
+		}
 		entry := Entry{Date: time.Now().UTC().Format(time.RFC3339), Note: *note, Report: rep}
 		if err := appendEntry(*out, entry); err != nil {
 			fatal(err)
@@ -300,6 +308,48 @@ func gate(samples []Sample, parCPUs int, maxRatio, gateAllocs float64) Report {
 		rep.Pairs = append(rep.Pairs, pair)
 	}
 	return rep
+}
+
+// latestEntry returns the most recent trajectory entry by Date, not by
+// array position: trajectory files merged from parallel CI branches (or
+// hand-edited) routinely hold entries out of chronological order, and
+// "last element" would silently compare against a stale run. Dates are
+// RFC3339 UTC, so lexicographic comparison is chronological; undated
+// legacy entries sort oldest, and among equal dates the earliest element
+// wins for determinism. ok is false for an empty trajectory.
+func latestEntry(entries []Entry) (e Entry, ok bool) {
+	best := -1
+	for i := range entries {
+		if best < 0 || entries[i].Date > entries[best].Date {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Entry{}, false
+	}
+	return entries[best], true
+}
+
+// printTrend reports how this run's paired ns/op moved against the most
+// recent prior entry.
+func printTrend(prev Entry, cur Report) {
+	prevPairs := map[string]Pair{}
+	for _, p := range prev.Pairs {
+		prevPairs[p.Name] = p
+	}
+	when := prev.Date
+	if when == "" {
+		when = "undated"
+	}
+	for _, p := range cur.Pairs {
+		q, ok := prevPairs[p.Name]
+		if !ok || q.ParNsPerOp <= 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: %-40s %d-cpu %12.0f ns/op vs %12.0f (%s): %+.1f%%\n",
+			p.Name, p.ParCPUs, p.ParNsPerOp, q.ParNsPerOp, when,
+			100*(p.ParNsPerOp-q.ParNsPerOp)/q.ParNsPerOp)
+	}
 }
 
 // appendEntry loads the trajectory at path (tolerating a missing file and

@@ -306,6 +306,57 @@ func TestTrajectoryAppend(t *testing.T) {
 	}
 }
 
+func TestLatestEntry(t *testing.T) {
+	mk := func(date, note string) Entry {
+		return Entry{Date: date, Note: note}
+	}
+	cases := []struct {
+		name    string
+		entries []Entry
+		want    string // note of the expected entry
+		ok      bool
+	}{
+		{"empty", nil, "", false},
+		{"single", []Entry{mk("2026-08-08T00:00:00Z", "only")}, "only", true},
+		{"in_order", []Entry{
+			mk("2026-08-07T00:00:00Z", "old"),
+			mk("2026-08-08T00:00:00Z", "new"),
+		}, "new", true},
+		// The point of the function: a merged trajectory whose newest
+		// entry is NOT last must still be selected by date.
+		{"out_of_order", []Entry{
+			mk("2026-08-06T00:00:00Z", "oldest"),
+			mk("2026-08-09T12:00:00Z", "newest"),
+			mk("2026-08-08T00:00:00Z", "middle"),
+			mk("2026-08-07T00:00:00Z", "older"),
+		}, "newest", true},
+		{"legacy_undated_sorts_oldest", []Entry{
+			mk("", "legacy"),
+			mk("2026-08-08T00:00:00Z", "dated"),
+			mk("", "legacy2"),
+		}, "dated", true},
+		{"all_undated_keeps_first", []Entry{
+			mk("", "a"),
+			mk("", "b"),
+		}, "a", true},
+		{"tie_keeps_first", []Entry{
+			mk("2026-08-08T00:00:00Z", "first"),
+			mk("2026-08-08T00:00:00Z", "second"),
+		}, "first", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := latestEntry(tc.entries)
+			if ok != tc.ok {
+				t.Fatalf("ok = %t, want %t", ok, tc.ok)
+			}
+			if ok && got.Note != tc.want {
+				t.Errorf("latestEntry picked %q (date %s), want %q", got.Note, got.Date, tc.want)
+			}
+		})
+	}
+}
+
 func TestParseCPUList(t *testing.T) {
 	set, err := parseCPUList("", 4)
 	if err != nil || !set[4] || len(set) != 1 {

@@ -9,6 +9,7 @@
 //	gpuscout -sass kernel.sass                       static analysis of SASS text
 //	gpuscout -list                                   list built-in workloads
 //	gpuscout -compare other_workload                 metric diff vs -workload
+//	gpuscout -workload w -arch-compare sm80          cross-arch finding diff
 package main
 
 import (
@@ -29,7 +30,8 @@ func main() {
 		sassF    = flag.String("sass", "", "SASS text file to analyze (static analysis)")
 		dryRun   = flag.Bool("dry-run", false, "static SASS analysis only, no GPU involvement")
 		verify   = flag.Bool("verify", false, "re-execute each recommendation's paired optimized variant and attach measured verdicts (workload analyses only)")
-		archName = flag.String("arch", "sm_70", "GPU architecture (sm_70/V100, sm_60/P100)")
+		archName = flag.String("arch", "sm_70", "GPU architecture (sm_70/V100, sm_60/P100, sm_80/A100; sm70/sm80 also accepted)")
+		archCmp  = flag.String("arch-compare", "", "second architecture: analyze -workload on both and print the cross-arch finding comparison")
 		sample   = flag.Int("sample-sms", 2, "SMs to simulate (sampling)")
 		period   = flag.Float64("sampling-period", 0, "CUPTI sampling period in cycles (0 = default)")
 		list     = flag.Bool("list", false, "list built-in workloads")
@@ -71,6 +73,26 @@ func main() {
 	}
 
 	switch {
+	case *workload != "" && *archCmp != "":
+		other, err := gpuscout.ArchByName(*archCmp)
+		if err != nil {
+			fatal(err)
+		}
+		cmp, err := gpuscout.AnalyzeWorkloadCrossArch(ctx, *workload, *scale, arch, other, opts, *verify)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(cmp.Render())
+		if *jsonOut != "" {
+			data, err := cmp.MarshalJSON()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+
 	case *workload != "":
 		rep, err := gpuscout.AnalyzeWorkloadContext(ctx, *workload, *scale, arch, opts)
 		if err != nil {

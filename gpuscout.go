@@ -53,7 +53,8 @@ func V100() Arch { return gpu.V100() }
 // analysis, rejected by the (modeled) ncu — the --dry-run scenario.
 func P100() Arch { return gpu.P100() }
 
-// ArchByName resolves "sm_70", "V100", "sm_60", "P100", ...
+// ArchByName resolves "sm_70"/"sm70"/"V100", "sm_60"/"P100",
+// "sm_80"/"sm80"/"A100", ...
 func ArchByName(name string) (Arch, error) { return gpu.ByName(name) }
 
 // --- Kernels and SASS ---
@@ -247,9 +248,17 @@ type Workload = workloads.Workload
 func WorkloadNames() []string { return workloads.Names() }
 
 // BuildWorkload constructs a registered workload at the given scale
-// (0 = the workload's default).
+// (0 = the workload's default) for the default Volta target.
 func BuildWorkload(name string, scale int) (*Workload, error) {
 	return workloads.Build(name, scale)
+}
+
+// BuildWorkloadArch constructs a registered workload lowered for the
+// given architecture: the same arch-neutral kernel source, compiled by
+// that arch's codegen backend (e.g. LDG+STS pairs fuse into
+// cp.async-style LDGSTS on sm_80).
+func BuildWorkloadArch(name string, scale int, arch Arch) (*Workload, error) {
+	return workloads.BuildArch(name, scale, arch)
 }
 
 // RunWorkload executes a workload on a fresh device of the given
@@ -360,9 +369,11 @@ func NewPeerCache(replicas []string, self string, cfg PeerCacheConfig) *PeerCach
 }
 
 // AnalyzeWorkloadContext is AnalyzeWorkload with cancellation, the path
-// the gpuscoutd daemon uses for per-job timeouts.
+// the gpuscoutd daemon uses for per-job timeouts. The workload is
+// lowered for arch before analysis, so the report reflects that
+// backend's instruction selection, not just its machine model.
 func AnalyzeWorkloadContext(ctx context.Context, name string, scale int, arch Arch, opts Options) (*Report, error) {
-	w, err := workloads.Build(name, scale)
+	w, err := workloads.BuildArch(name, scale, arch)
 	if err != nil {
 		return nil, err
 	}
@@ -371,4 +382,45 @@ func AnalyzeWorkloadContext(ctx context.Context, name string, scale int, arch Ar
 		return workloads.ExecuteContext(ctx, w, dev, cfg)
 	}
 	return scout.AnalyzeContext(ctx, arch, w.Kernel, run, opts)
+}
+
+// --- Cross-architecture comparison ---
+
+// ArchComparison is the cross-arch report: the same workload analyzed
+// on two architectures, findings matched by detector and source line,
+// each classified as persisting, appearing, or disappearing.
+type ArchComparison = scout.ArchComparison
+
+// ArchDelta is one finding tracked across the two architectures.
+type ArchDelta = scout.ArchDelta
+
+// CompareArchReports diffs two reports of the same kernel produced on
+// different architectures.
+func CompareArchReports(base, other *Report) *ArchComparison {
+	return scout.CompareReports(base, other)
+}
+
+// AnalyzeWorkloadCrossArch analyzes the named workload on two
+// architectures and returns the cross-arch comparison. With verify set,
+// each report's recommendations are counterfactually verified first, so
+// the deltas include advisor verdict changes (e.g. a fix confirmed on
+// sm_70 that is moot on sm_80 because cp.async already hides the stall).
+func AnalyzeWorkloadCrossArch(ctx context.Context, name string, scale int, base, other Arch, opts Options, verify bool) (*ArchComparison, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	reps := make([]*Report, 2)
+	for i, arch := range []Arch{base, other} {
+		rep, err := AnalyzeWorkloadContext(ctx, name, scale, arch, opts)
+		if err != nil {
+			return nil, fmt.Errorf("gpuscout: analyze %s on %s: %w", name, arch.SM, err)
+		}
+		if verify {
+			if _, err := advisor.Verify(ctx, rep, name, scale, arch, opts.Sim); err != nil {
+				return nil, fmt.Errorf("gpuscout: verify %s on %s: %w", name, arch.SM, err)
+			}
+		}
+		reps[i] = rep
+	}
+	return scout.CompareReports(reps[0], reps[1]), nil
 }

@@ -191,7 +191,9 @@ func Verify(ctx context.Context, rep *scout.Report, workload string, scale int, 
 			if err := faultinject.Hit(siteVerify); err != nil {
 				return err
 			}
-			w, err := workloads.Build(name, scale)
+			// The variant must be lowered for the same backend as the
+			// baseline, or the comparison measures the arch, not the fix.
+			w, err := workloads.BuildArch(name, scale, arch)
 			if err != nil {
 				return fmt.Errorf("build variant: %w", err)
 			}

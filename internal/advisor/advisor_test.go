@@ -12,14 +12,20 @@ import (
 )
 
 // analyze runs the full three-pillar pipeline on a workload, the way the
-// facade's AnalyzeWorkload does.
+// facade's AnalyzeWorkload does, on the default Volta target.
 func analyze(t *testing.T, name string, scale int, cfg sim.Config) *scout.Report {
+	return analyzeArch(t, name, scale, cfg, gpu.V100())
+}
+
+// analyzeArch is analyze for an explicit target architecture: the
+// workload is lowered by that arch's codegen backend and simulated on
+// that arch's machine model.
+func analyzeArch(t *testing.T, name string, scale int, cfg sim.Config, arch gpu.Arch) *scout.Report {
 	t.Helper()
-	w, err := workloads.Build(name, scale)
+	w, err := workloads.BuildArch(name, scale, arch)
 	if err != nil {
 		t.Fatalf("build %s: %v", name, err)
 	}
-	arch := gpu.V100()
 	run := func(ctx context.Context, c sim.Config) (*sim.Result, error) {
 		return workloads.ExecuteContext(ctx, w, sim.NewDevice(arch), c)
 	}

@@ -45,12 +45,12 @@ func goldenScale(t *testing.T, name string) int {
 // simulator parallelism, in both text and JSON forms. The SASS-analysis
 // overhead is wall-clock time and is zeroed: everything else in a report
 // is deterministic.
-func goldenReport(t *testing.T, name string, workers int) (string, []byte) {
+func goldenReport(t *testing.T, name string, workers int, arch gpu.Arch) (string, []byte) {
 	t.Helper()
 	scale := goldenScale(t, name)
 	cfg := sim.Config{SampleSMs: 1, Workers: workers}
-	rep := analyze(t, name, scale, cfg)
-	if _, err := Verify(context.Background(), rep, name, scale, gpu.V100(), cfg); err != nil {
+	rep := analyzeArch(t, name, scale, cfg, arch)
+	if _, err := Verify(context.Background(), rep, name, scale, arch, cfg); err != nil {
 		t.Fatalf("verify %s: %v", name, err)
 	}
 	rep.OverheadSASSCycles = 0
@@ -62,16 +62,15 @@ func goldenReport(t *testing.T, name string, workers int) (string, []byte) {
 	return text, append(js, '\n')
 }
 
-// TestGoldenReports locks down the full verified report — text and JSON —
-// for every registered workload, and proves the simulator's determinism
-// guarantee at the report level: Workers=1 and Workers=4 must render
-// byte-identically. Regenerate with: go test ./internal/advisor -run
-// TestGoldenReports -update
-func TestGoldenReports(t *testing.T) {
+// runGoldenSuite locks down the full verified report — text and JSON —
+// for every registered workload on one architecture, and proves the
+// simulator's determinism guarantee at the report level: Workers=1 and
+// Workers=4 must render byte-identically.
+func runGoldenSuite(t *testing.T, arch gpu.Arch, dir string) {
 	for _, name := range workloads.Names() {
 		t.Run(name, func(t *testing.T) {
-			text, js := goldenReport(t, name, 1)
-			textPar, jsPar := goldenReport(t, name, 4)
+			text, js := goldenReport(t, name, 1, arch)
+			textPar, jsPar := goldenReport(t, name, 4, arch)
 			if text != textPar {
 				t.Errorf("text report differs between Workers=1 and Workers=4:\n%s",
 					firstDiff(text, textPar))
@@ -81,8 +80,8 @@ func TestGoldenReports(t *testing.T) {
 					firstDiff(string(js), string(jsPar)))
 			}
 
-			txtPath := filepath.Join("testdata", "golden", name+".txt")
-			jsonPath := filepath.Join("testdata", "golden", name+".json")
+			txtPath := filepath.Join(dir, name+".txt")
+			jsonPath := filepath.Join(dir, name+".json")
 			if *update {
 				if err := os.MkdirAll(filepath.Dir(txtPath), 0o755); err != nil {
 					t.Fatal(err)
@@ -99,6 +98,22 @@ func TestGoldenReports(t *testing.T) {
 			compareGolden(t, jsonPath, js)
 		})
 	}
+}
+
+// TestGoldenReports is the sm_70 golden suite. Its files predate the
+// arch-neutral IR refactor, so passing it proves the Volta backend's
+// lowering is byte-identical to the pre-refactor compiler. Regenerate
+// with: go test ./internal/advisor -run TestGoldenReports -update
+func TestGoldenReports(t *testing.T) {
+	runGoldenSuite(t, gpu.V100(), filepath.Join("testdata", "golden"))
+}
+
+// TestGoldenReportsSM80 is the same suite lowered and simulated for the
+// Ampere-class sm_80 backend (cp.async fusion, wider L1 sectors, its own
+// machine tables). Regenerate with:
+// go test ./internal/advisor -run TestGoldenReportsSM80 -update
+func TestGoldenReportsSM80(t *testing.T) {
+	runGoldenSuite(t, gpu.A100(), filepath.Join("testdata", "golden", "sm80"))
 }
 
 func compareGolden(t *testing.T, path string, got []byte) {

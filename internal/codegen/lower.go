@@ -3,6 +3,7 @@ package codegen
 import (
 	"fmt"
 
+	"gpuscout/internal/gpu"
 	"gpuscout/internal/kasm"
 	"gpuscout/internal/sass"
 )
@@ -10,21 +11,37 @@ import (
 // Options configure compilation.
 type Options struct {
 	// MaxRegs bounds physical registers per thread, like nvcc's
-	// -maxrregcount. 0 means the architectural maximum (255). Lower
+	// -maxrregcount. 0 means the target's architectural maximum. Lower
 	// budgets force register spilling to local memory.
 	MaxRegs int
+
+	// Arch selects the target architecture. The zero value targets the
+	// default Volta-class machine (gpu.V100). The descriptor drives
+	// per-arch lowering — instruction selection such as LDG+STS →
+	// LDGSTS fusion on async-copy ISAs, the per-thread register ceiling,
+	// and the number of dependency scoreboards — and stamps the produced
+	// kernel's arch tag.
+	Arch gpu.Arch
 }
 
-// Compile lowers a kasm.Program to an executable sass.Kernel: register
-// allocation (with spilling), label resolution, scoreboard assignment and
-// resource accounting.
+// Compile lowers a kasm.Program to an executable sass.Kernel: per-arch
+// instruction selection, register allocation (with spilling), label
+// resolution, scoreboard assignment and resource accounting.
 func Compile(p *kasm.Program, opts Options) (*sass.Kernel, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	arch := opts.Arch
+	if arch.Name == "" {
+		arch = gpu.V100()
+	}
+	maxRegs := arch.MaxRegsPerThread
+	if maxRegs <= 0 || maxRegs > sass.NumArchRegs {
+		maxRegs = sass.NumArchRegs
+	}
 	budget := opts.MaxRegs
-	if budget <= 0 || budget > sass.NumArchRegs {
-		budget = sass.NumArchRegs
+	if budget <= 0 || budget > maxRegs {
+		budget = maxRegs
 	}
 	if budget < 8 {
 		return nil, fmt.Errorf("codegen: register budget %d below minimum 8", budget)
@@ -32,6 +49,7 @@ func Compile(p *kasm.Program, opts Options) (*sass.Kernel, error) {
 
 	// Work on a copy: spill rewriting mutates the program.
 	work := cloneProgram(p)
+	lowerForArch(work, arch.ISA)
 	noSpill := map[kasm.VReg]bool{}
 	spilledEver := map[kasm.VReg]bool{}
 	sp := &spiller{}
@@ -62,7 +80,12 @@ func Compile(p *kasm.Program, opts Options) (*sass.Kernel, error) {
 
 	k := translate(work, alloc)
 	k.LocalBytes = sp.localBytes
-	assignScoreboards(k)
+	if opts.Arch.Name != "" {
+		// An explicit target stamps the kernel; otherwise the program's
+		// own tag (what the builder was constructed with) stands.
+		k.Arch = arch.SM
+	}
+	assignScoreboards(k, arch.ISA.Scoreboards)
 	if err := k.Validate(); err != nil {
 		return nil, fmt.Errorf("codegen: produced invalid kernel: %w", err)
 	}
@@ -273,18 +296,22 @@ func translate(p *kasm.Program, alloc *allocResult) *sass.Kernel {
 	return k
 }
 
-// assignScoreboards walks the kernel and assigns Volta control info:
-// variable-latency instructions (memory loads, atomics with return) set a
-// write scoreboard; the first subsequent instruction reading or
+// assignScoreboards walks the kernel and assigns Volta-style control
+// info: variable-latency instructions (memory loads, atomics with return)
+// set a write scoreboard; the first subsequent instruction reading or
 // overwriting one of the pending registers carries the slot in its wait
-// mask. The simulator enforces dependencies dynamically as well; the
-// static info mirrors what real SASS encodes and is shown by the
-// disassembler.
-func assignScoreboards(k *sass.Kernel) {
+// mask. The number of hardware slots comes from the arch descriptor
+// (ISADesc.Scoreboards). The simulator enforces dependencies dynamically
+// as well; the static info mirrors what real SASS encodes and is shown by
+// the disassembler.
+func assignScoreboards(k *sass.Kernel, nslots int) {
+	if nslots <= 0 {
+		nslots = 6
+	}
 	type pending struct {
 		regs []sass.Reg
 	}
-	var slots [6]pending
+	slots := make([]pending, nslots)
 	next := 0
 	var scratch []sass.Reg
 
@@ -313,19 +340,19 @@ func assignScoreboards(k *sass.Kernel) {
 		if needsWrBar(in) {
 			// Find a free slot, else force a wait on the round-robin slot.
 			slot := -1
-			for off := 0; off < 6; off++ {
-				s := (next + off) % 6
+			for off := 0; off < nslots; off++ {
+				s := (next + off) % nslots
 				if len(slots[s].regs) == 0 {
 					slot = s
 					break
 				}
 			}
 			if slot < 0 {
-				slot = next % 6
+				slot = next % nslots
 				in.Ctrl.WaitMask |= 1 << uint(slot)
 				slots[slot].regs = nil
 			}
-			next = (slot + 1) % 6
+			next = (slot + 1) % nslots
 			in.Ctrl.WrBar = int8(slot)
 			slots[slot].regs = append([]sass.Reg(nil), dsts...)
 		}

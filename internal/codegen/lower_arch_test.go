@@ -1,0 +1,177 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"gpuscout/internal/codegen"
+	"gpuscout/internal/gpu"
+	"gpuscout/internal/kasm"
+	"gpuscout/internal/sass"
+	"gpuscout/internal/sim"
+)
+
+// stagingProgram builds the canonical global→shared staging pattern the
+// sm_80 backend fuses: load in[tid], stage it into shared memory, read
+// it back after the barrier, store to out[tid].
+func stagingProgram(t *testing.T, nc, extraUse bool) *kasm.Program {
+	t.Helper()
+	b := kasm.NewBuilder("stage", "sm_70", "stage.cu")
+	b.NumParams(2)
+	tid := b.TidX()
+	in := b.ParamPtr(0)
+	out := b.ParamPtr(1)
+	b.AllocShared(128)
+	off := b.Shl(kasm.VR(tid), 2)
+	gaddr := b.IMadWide(kasm.VR(off), kasm.VImm(1), in)
+	v := b.Ldg(gaddr, 0, 4, nc)
+	if extraUse {
+		// A second consumer of the loaded value: the load result must
+		// stay in a register, so fusion must not fire.
+		w := b.FAdd(kasm.VR(v), kasm.VR(v))
+		oaddr2 := b.IMadWide(kasm.VR(off), kasm.VImm(1), out)
+		b.Stg(oaddr2, 0, w, 4)
+	}
+	b.Sts(off, 0, v, 4)
+	b.Bar()
+	r := b.Lds(off, 0, 4)
+	oaddr := b.IMadWide(kasm.VR(off), kasm.VImm(1), out)
+	b.Stg(oaddr, 0, r, 4)
+	b.Exit()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return prog
+}
+
+func opCount(k *sass.Kernel, op sass.Opcode) int {
+	n := 0
+	for i := range k.Insts {
+		if k.Insts[i].Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSM80FusesAsyncCopy: the Ampere backend must lower the LDG+STS
+// staging pair to a single cp.async-style LDGSTS at the STS position.
+func TestSM80FusesAsyncCopy(t *testing.T) {
+	k, err := codegen.Compile(stagingProgram(t, false, false), codegen.Options{Arch: gpu.A100()})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if k.Arch != "sm_80" {
+		t.Errorf("kernel arch = %q, want sm_80", k.Arch)
+	}
+	if n := opCount(k, sass.OpLDGSTS); n != 1 {
+		t.Fatalf("LDGSTS count = %d, want 1\n%s", n, sass.Print(k))
+	}
+	if n := opCount(k, sass.OpLDG); n != 0 {
+		t.Errorf("LDG count = %d, want 0 (fused away)\n%s", n, sass.Print(k))
+	}
+	if n := opCount(k, sass.OpSTS); n != 0 {
+		t.Errorf("STS count = %d, want 0 (fused away)\n%s", n, sass.Print(k))
+	}
+}
+
+// TestSM70LoweringIsIdentity: compiling for the (default) Volta backend
+// must produce the same SASS as an arch-less compile — the property that
+// keeps every pre-refactor sm_70 golden file byte-identical.
+func TestSM70LoweringIsIdentity(t *testing.T) {
+	plain, err := codegen.Compile(stagingProgram(t, false, false), codegen.Options{})
+	if err != nil {
+		t.Fatalf("compile (zero options): %v", err)
+	}
+	volta, err := codegen.Compile(stagingProgram(t, false, false), codegen.Options{Arch: gpu.V100()})
+	if err != nil {
+		t.Fatalf("compile (V100): %v", err)
+	}
+	if got, want := sass.Print(volta), sass.Print(plain); got != want {
+		t.Errorf("sm_70 lowering is not the identity:\n--- zero options ---\n%s\n--- V100 ---\n%s", want, got)
+	}
+	if n := opCount(volta, sass.OpLDGSTS); n != 0 {
+		t.Errorf("LDGSTS on sm_70: %d, want 0", n)
+	}
+}
+
+// TestFusionSkipsIneligibleLoads: NC (read-only cache) loads and loads
+// with more than one consumer must survive unfused.
+func TestFusionSkipsIneligibleLoads(t *testing.T) {
+	cases := []struct {
+		name     string
+		nc       bool
+		extraUse bool
+	}{
+		{"nc_load", true, false},
+		{"multi_use", false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k, err := codegen.Compile(stagingProgram(t, tc.nc, tc.extraUse), codegen.Options{Arch: gpu.A100()})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if n := opCount(k, sass.OpLDGSTS); n != 0 {
+				t.Errorf("LDGSTS count = %d, want 0\n%s", n, sass.Print(k))
+			}
+			if n := opCount(k, sass.OpLDG); n == 0 {
+				t.Error("LDG disappeared without fusion")
+			}
+		})
+	}
+}
+
+// TestAsyncCopyExecutes runs the fused kernel on the simulator: the
+// value staged by LDGSTS must land in shared memory (and hence in the
+// output), and the async-copy counters must tick.
+func TestAsyncCopyExecutes(t *testing.T) {
+	arch := gpu.A100()
+	k, err := codegen.Compile(stagingProgram(t, false, false), codegen.Options{Arch: arch})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if opCount(k, sass.OpLDGSTS) == 0 {
+		t.Fatal("kernel did not fuse; test exercises nothing")
+	}
+	dev := sim.NewDevice(arch)
+	inBuf, err := dev.Alloc(4 * 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outBuf, err := dev.Alloc(4 * 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float32, 32)
+	for i := range data {
+		data[i] = float32(i) + 0.5
+	}
+	if err := dev.WriteF32(inBuf, data); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Launch(dev, sim.LaunchSpec{
+		Kernel: k,
+		Grid:   sim.D1(1),
+		Block:  sim.D1(32),
+		Params: []uint64{inBuf.Addr, outBuf.Addr},
+	}, sim.Config{})
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	got, err := dev.ReadF32(outBuf, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Errorf("out[%d] = %v, want %v", i, got[i], data[i])
+		}
+	}
+	if res.Counters.AsyncCopyInsts == 0 {
+		t.Error("AsyncCopyInsts = 0, want > 0")
+	}
+	if res.Counters.AsyncCopySectors == 0 {
+		t.Error("AsyncCopySectors = 0, want > 0")
+	}
+}

@@ -65,6 +65,29 @@ type Arch struct {
 	SFULatency    int
 	FP64IssueRate int // cycles between FP64 issues per scheduler (throughput limit)
 	SFUIssueRate  int
+
+	// ISA describes what the architecture's instruction set offers; the
+	// codegen backend selects instructions from it during lowering.
+	ISA ISADesc
+}
+
+// ISADesc is the instruction-selection side of an architecture
+// descriptor: everything codegen needs to lower the arch-neutral kasm IR
+// onto this target without per-arch constants in the compiler itself.
+type ISADesc struct {
+	// AsyncCopy reports whether the target has cp.async-style
+	// global→shared copy instructions (LDGSTS on sm_80+). When set, the
+	// backend fuses eligible LDG+STS pairs into single async copies that
+	// bypass the register file and L1.
+	AsyncCopy bool
+	// AsyncCopyMaxBytes is the widest per-thread async copy (16 on
+	// Ampere: cp.async.cg 16B).
+	AsyncCopyMaxBytes int
+	// Scoreboards is the number of hardware dependency scoreboards
+	// (barrier slots) the control encoding exposes.
+	Scoreboards int
+	// ConstLatency is the constant-cache hit latency in cycles.
+	ConstLatency int
 }
 
 // V100 returns the Tesla V100 (SXM2 16GB) description used throughout the
@@ -116,6 +139,13 @@ func V100() Arch {
 		SFULatency:    14,
 		FP64IssueRate: 2,
 		SFUIssueRate:  4,
+
+		ISA: ISADesc{
+			AsyncCopy:   false,
+			Scoreboards: 6,
+
+			ConstLatency: 8,
+		},
 	}
 }
 
@@ -148,23 +178,27 @@ func A100() Arch {
 	a.DRAMBWBytes = 1103 // ~1555 GB/s HBM2e / 1.41 GHz
 	a.SharedPerSM = 164 << 10
 	a.L1Bytes = 192 << 10
+	a.L1SectorBytes = 64 // wider L1 sectors; all coalescing/byte math reads this
 	a.L1Ways = 6
 	a.L2Bytes = 40 << 20
 	a.L2BWBytes = 3200
 	a.MaxRegsPerThread = 255
 	a.LSUMSHRs = 144
 	a.TEXMSHRs = 320
+	a.ISA.AsyncCopy = true
+	a.ISA.AsyncCopyMaxBytes = 16
 	return a
 }
 
-// ByName resolves an architecture by SM tag ("sm_70") or name.
+// ByName resolves an architecture by SM tag ("sm_70", also accepted
+// without the underscore as "sm70") or name.
 func ByName(name string) (Arch, error) {
 	switch name {
-	case "sm_70", "V100", "v100", "Tesla V100":
+	case "sm_70", "sm70", "V100", "v100", "Tesla V100":
 		return V100(), nil
-	case "sm_60", "P100", "p100", "Tesla P100":
+	case "sm_60", "sm60", "P100", "p100", "Tesla P100":
 		return P100(), nil
-	case "sm_80", "A100", "a100":
+	case "sm_80", "sm80", "A100", "a100":
 		return A100(), nil
 	}
 	return Arch{}, fmt.Errorf("gpu: unknown architecture %q", name)

@@ -4,6 +4,12 @@
 // attachment; internal/codegen then allocates physical registers (spilling
 // to local memory under pressure, exactly like -maxrregcount) and produces
 // a finished sass.Kernel.
+//
+// The IR is architecture-neutral: a Program carries no target-specific
+// instruction selection. Per-architecture lowering (e.g. fusing LDG+STS
+// pairs into cp.async-style LDGSTS on sm_80) happens inside
+// internal/codegen, driven by the gpu.Arch descriptor passed in
+// codegen.Options — see DESIGN.md §12.
 package kasm
 
 import (
@@ -128,27 +134,42 @@ func (p *Program) Validate() error {
 				return fmt.Errorf("kasm: %s inst %d branches to undefined label %q", p.Name, i, in.Label)
 			}
 		}
-		for _, o := range append(append([]VOperand{}, in.Dst...), in.Src...) {
-			if (o.Kind == VOpdReg || o.Kind == VOpdMem) && o.V != NoVReg {
-				if int(o.V) >= p.NumVRegs {
-					return fmt.Errorf("kasm: %s inst %d references undefined vreg %d", p.Name, i, o.V)
+		check := func(o VOperand, isDst bool) error {
+			if (o.Kind != VOpdReg && o.Kind != VOpdMem) || o.V == NoVReg {
+				return nil
+			}
+			if int(o.V) >= p.NumVRegs {
+				return fmt.Errorf("kasm: %s inst %d references undefined vreg %d", p.Name, i, o.V)
+			}
+			if o.Kind == VOpdReg && o.Elem >= int(p.Widths[o.V]) {
+				return fmt.Errorf("kasm: %s inst %d elem %d out of range for v%d (width %d)",
+					p.Name, i, o.Elem, o.V, p.Widths[o.V])
+			}
+			if o.Kind == VOpdMem {
+				// Global-space addresses are 64-bit pairs; shared and
+				// local addresses are 32-bit segment offsets. LDGSTS is the
+				// one dual-space instruction: its destination is a shared
+				// address, its source a global address.
+				wantPair := in.Op == sass.OpLDG || in.Op == sass.OpSTG ||
+					in.Op == sass.OpATOM || in.Op == sass.OpRED ||
+					(in.Op == sass.OpLDGSTS && !isDst)
+				if wantPair && p.Widths[o.V] != 2 {
+					return fmt.Errorf("kasm: %s inst %d global memory base v%d is not a 64-bit pair", p.Name, i, o.V)
 				}
-				if o.Kind == VOpdReg && o.Elem >= int(p.Widths[o.V]) {
-					return fmt.Errorf("kasm: %s inst %d elem %d out of range for v%d (width %d)",
-						p.Name, i, o.Elem, o.V, p.Widths[o.V])
+				if !wantPair && p.Widths[o.V] != 1 {
+					return fmt.Errorf("kasm: %s inst %d shared/local memory base v%d must be 32-bit", p.Name, i, o.V)
 				}
-				if o.Kind == VOpdMem {
-					// Global-space addresses are 64-bit pairs; shared and
-					// local addresses are 32-bit segment offsets.
-					wantPair := in.Op == sass.OpLDG || in.Op == sass.OpSTG ||
-						in.Op == sass.OpATOM || in.Op == sass.OpRED
-					if wantPair && p.Widths[o.V] != 2 {
-						return fmt.Errorf("kasm: %s inst %d global memory base v%d is not a 64-bit pair", p.Name, i, o.V)
-					}
-					if !wantPair && p.Widths[o.V] != 1 {
-						return fmt.Errorf("kasm: %s inst %d shared/local memory base v%d must be 32-bit", p.Name, i, o.V)
-					}
-				}
+			}
+			return nil
+		}
+		for _, o := range in.Dst {
+			if err := check(o, true); err != nil {
+				return err
+			}
+		}
+		for _, o := range in.Src {
+			if err := check(o, false); err != nil {
+				return err
 			}
 		}
 	}

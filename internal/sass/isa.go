@@ -124,6 +124,11 @@ const (
 	OpNOP
 	OpRET
 
+	// Async copy (sm_80+): global→shared transfer that bypasses the
+	// register file and L1, the SASS form of cp.async. Appended after the
+	// original set so existing opcode values stay stable.
+	OpLDGSTS
+
 	opMax
 )
 
@@ -177,6 +182,7 @@ var opNames = [...]string{
 	OpBAR:     "BAR",
 	OpNOP:     "NOP",
 	OpRET:     "RET",
+	OpLDGSTS:  "LDGSTS",
 }
 
 func (o Opcode) String() string {
@@ -246,7 +252,7 @@ func (c Class) String() string {
 // ClassOf returns the execution class of an opcode.
 func ClassOf(op Opcode) Class {
 	switch op {
-	case OpLDG, OpSTG, OpATOM, OpRED:
+	case OpLDG, OpSTG, OpATOM, OpRED, OpLDGSTS:
 		return ClassGlobal
 	case OpLDL, OpSTL:
 		return ClassLocal
@@ -270,7 +276,8 @@ func ClassOf(op Opcode) Class {
 // IsMemory reports whether the opcode accesses a memory space.
 func IsMemory(op Opcode) bool {
 	switch op {
-	case OpLDG, OpSTG, OpLDS, OpSTS, OpLDL, OpSTL, OpLDC, OpTEX, OpATOM, OpATOMS, OpRED:
+	case OpLDG, OpSTG, OpLDS, OpSTS, OpLDL, OpSTL, OpLDC, OpTEX, OpATOM, OpATOMS, OpRED,
+		OpLDGSTS:
 		return true
 	}
 	return false

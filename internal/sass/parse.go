@@ -19,8 +19,8 @@ func (e *ParseError) Error() string {
 // numDsts returns how many leading operands of the opcode are destinations.
 func numDsts(op Opcode) int {
 	switch op {
-	case OpSTG, OpSTS, OpSTL, OpRED:
-		return 1 // the memory operand
+	case OpSTG, OpSTS, OpSTL, OpRED, OpLDGSTS:
+		return 1 // the memory operand (LDGSTS: the shared destination)
 	case OpATOM, OpATOMS:
 		return 2 // return register + memory operand
 	case OpISETP, OpFSETP, OpDSETP:

@@ -35,29 +35,38 @@ func TestDetectorsSilentOnOptimizedVariants(t *testing.T) {
 		{"histogram_shared", "shared_atomics", true},
 		{"reduction_shfl", "shared_atomics", true},
 	}
-	for _, tc := range cases {
-		t.Run(tc.workload+"/"+tc.analysis, func(t *testing.T) {
-			w, err := workloads.Build(tc.workload, 0)
-			if err != nil {
-				t.Fatalf("build: %v", err)
-			}
-			rep, err := scout.Analyze(gpu.V100(), w.Kernel, nil, scout.Options{DryRun: true})
-			if err != nil {
-				t.Fatalf("analyze: %v", err)
-			}
-			for i := range rep.Findings {
-				f := &rep.Findings[i]
-				if f.Analysis != tc.analysis {
-					continue
+	for _, arch := range negativeArches() {
+		for _, tc := range cases {
+			t.Run(arch.SM+"/"+tc.workload+"/"+tc.analysis, func(t *testing.T) {
+				w, err := workloads.BuildArch(tc.workload, 0, arch)
+				if err != nil {
+					t.Fatalf("build: %v", err)
 				}
-				if tc.allowInfo && f.Severity == scout.SeverityInfo {
-					continue
+				rep, err := scout.Analyze(arch, w.Kernel, nil, scout.Options{DryRun: true})
+				if err != nil {
+					t.Fatalf("analyze: %v", err)
 				}
-				t.Errorf("%s still fires on %s: [%s] %s",
-					tc.analysis, tc.workload, f.Severity, f.Title)
-			}
-		})
+				for i := range rep.Findings {
+					f := &rep.Findings[i]
+					if f.Analysis != tc.analysis {
+						continue
+					}
+					if tc.allowInfo && f.Severity == scout.SeverityInfo {
+						continue
+					}
+					t.Errorf("%s still fires on %s: [%s] %s",
+						tc.analysis, tc.workload, f.Severity, f.Title)
+				}
+			})
+		}
 	}
+}
+
+// negativeArches lists the backends the negative/positive control suites
+// run on: a fixed kernel must stay fixed — and a broken one broken — on
+// every supported lowering, not just Volta.
+func negativeArches() []gpu.Arch {
+	return []gpu.Arch{gpu.V100(), gpu.A100()}
 }
 
 // TestDetectorsFireOnBaselines is the matching positive control: the same
@@ -79,22 +88,24 @@ func TestDetectorsFireOnBaselines(t *testing.T) {
 		{"histogram_global", "shared_atomics", 0},
 		{"reduction_atomic", "shared_atomics", 0},
 	}
-	for _, tc := range cases {
-		t.Run(tc.workload+"/"+tc.analysis, func(t *testing.T) {
-			w, err := workloads.Build(tc.workload, tc.scale)
-			if err != nil {
-				t.Fatalf("build: %v", err)
-			}
-			rep, err := scout.Analyze(gpu.V100(), w.Kernel, nil, scout.Options{DryRun: true})
-			if err != nil {
-				t.Fatalf("analyze: %v", err)
-			}
-			for i := range rep.Findings {
-				if rep.Findings[i].Analysis == tc.analysis {
-					return
+	for _, arch := range negativeArches() {
+		for _, tc := range cases {
+			t.Run(arch.SM+"/"+tc.workload+"/"+tc.analysis, func(t *testing.T) {
+				w, err := workloads.BuildArch(tc.workload, tc.scale, arch)
+				if err != nil {
+					t.Fatalf("build: %v", err)
 				}
-			}
-			t.Errorf("%s does not fire on baseline %s", tc.analysis, tc.workload)
-		})
+				rep, err := scout.Analyze(arch, w.Kernel, nil, scout.Options{DryRun: true})
+				if err != nil {
+					t.Fatalf("analyze: %v", err)
+				}
+				for i := range rep.Findings {
+					if rep.Findings[i].Analysis == tc.analysis {
+						return
+					}
+				}
+				t.Errorf("%s does not fire on baseline %s", tc.analysis, tc.workload)
+			})
+		}
 	}
 }

@@ -13,17 +13,25 @@ import (
 	"gpuscout/internal/sim"
 )
 
-// AllAnalyses returns the full §4 detector set in paper order.
+// AllAnalyses returns the full §4 detector set in paper order, tuned
+// for the default Volta-class target.
 func AllAnalyses() []Analysis {
+	return AllAnalysesFor(gpu.V100())
+}
+
+// AllAnalysesFor returns the §4 detector set parameterized by the
+// target architecture's descriptor tables (shared-memory bank count
+// today; any future detector knob belongs here too).
+func AllAnalysesFor(arch gpu.Arch) []Analysis {
 	return []Analysis{
-		VectorLoadAnalysis{},   // §4.1
-		RegSpillAnalysis{},     // §4.2
-		SharedMemAnalysis{},    // §4.3
-		SharedAtomicAnalysis{}, // §4.4
-		ReadOnlyAnalysis{},     // §4.5
-		TextureAnalysis{},      // §4.6
-		DtypeConvAnalysis{},    // §4.7
-		BankConflictAnalysis{}, // added analysis (§7: modular extension)
+		VectorLoadAnalysis{},                          // §4.1
+		RegSpillAnalysis{},                            // §4.2
+		SharedMemAnalysis{},                           // §4.3
+		SharedAtomicAnalysis{},                        // §4.4
+		ReadOnlyAnalysis{},                            // §4.5
+		TextureAnalysis{},                             // §4.6
+		DtypeConvAnalysis{},                           // §4.7
+		BankConflictAnalysis{Banks: arch.SharedBanks}, // added analysis (§7: modular extension)
 	}
 }
 
@@ -84,7 +92,7 @@ func AnalyzeContext(ctx context.Context, arch gpu.Arch, k *sass.Kernel, run RunC
 	}
 	analyses := opts.Analyses
 	if analyses == nil {
-		analyses = AllAnalyses()
+		analyses = AllAnalysesFor(arch)
 	}
 	budgets := opts.Budgets
 	var total time.Duration
@@ -413,8 +421,12 @@ func metricSummary(f *Finding, rep *Report) []string {
 			add("%s = %.6g %s (%s)", name, val(name), m.Unit, m.Description)
 		}
 	}
-	arch := rep.Result
-	_ = arch
+	// Sector size comes from the report's architecture descriptor (32 B
+	// on Volta, wider on Ampere-class targets).
+	secB := 32.0
+	if a, err := gpu.ByName(rep.Arch); err == nil && a.L1SectorBytes > 0 {
+		secB = float64(a.L1SectorBytes)
+	}
 	switch f.Analysis {
 	case "register_spilling":
 		localInsts := val("smsp__inst_executed_op_local_ld.sum") + val("smsp__inst_executed_op_local_st.sum")
@@ -427,7 +439,7 @@ func metricSummary(f *Finding, rep *Report) []string {
 		totalSect := localSect + val("l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum") + val("l1tex__t_sectors_pipe_lsu_mem_global_op_st.sum")
 		if totalSect > 0 {
 			add("local memory causes %.1f%% of the L1TEX sector traffic (%.4g of %.4g sectors, %.4g B)",
-				100*localSect/totalSect, localSect, totalSect, localSect*32)
+				100*localSect/totalSect, localSect, totalSect, localSect*secB)
 		}
 	case "vectorized_load":
 		ldInsts := val("smsp__inst_executed_op_global_ld.sum")
@@ -459,7 +471,7 @@ func metricSummary(f *Finding, rep *Report) []string {
 		tex := val("l1tex__t_sectors_pipe_tex_mem_texture.sum")
 		if tex > 0 {
 			add("texture/read-only path: %.4g sectors requested (%.4g B), %.1f%% hit the texture cache",
-				tex, tex*32, val("l1tex__t_sector_pipe_tex_mem_texture_hit_rate.pct"))
+				tex, tex*secB, val("l1tex__t_sector_pipe_tex_mem_texture_hit_rate.pct"))
 		}
 	case "datatype_conversion":
 		total := val("smsp__inst_executed.sum")

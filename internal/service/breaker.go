@@ -26,8 +26,8 @@ var ErrQuarantined = errors.New("service: input quarantined")
 // land on the same replica's cache.
 func (r *AnalyzeRequest) Fingerprint() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "workload=%s\x00scale=%d\x00sass=%s\x00cubin=%x\x00kernel=%s\x00arch=%s\x00dry=%t\x00verify=%t",
-		r.Workload, r.Scale, r.SASS, r.Cubin, r.Kernel, r.Arch, r.DryRun, r.Verify)
+	fmt.Fprintf(h, "workload=%s\x00scale=%d\x00sass=%s\x00cubin=%x\x00kernel=%s\x00arch=%s\x00archcmp=%s\x00dry=%t\x00verify=%t",
+		r.Workload, r.Scale, r.SASS, r.Cubin, r.Kernel, r.Arch, r.ArchCompare, r.DryRun, r.Verify)
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 

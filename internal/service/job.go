@@ -54,6 +54,11 @@ type AnalyzeRequest struct {
 	// Arch is the target architecture ("sm_70"/"V100", "sm_60", "sm_80");
 	// default sm_70.
 	Arch string `json:"arch,omitempty"`
+	// ArchCompare names a second architecture: the workload is analyzed
+	// on both Arch and ArchCompare and the job's report becomes the
+	// cross-arch comparison (deltas plus both full reports). Workload
+	// analyses only.
+	ArchCompare string `json:"arch_compare,omitempty"`
 	// DryRun restricts a workload analysis to the static pillar.
 	DryRun bool `json:"dry_run,omitempty"`
 	// Verify re-executes each recommendation's paired optimized variant
@@ -99,6 +104,9 @@ func (r *AnalyzeRequest) validate() error {
 	}
 	if r.Verify && r.DryRun {
 		return fmt.Errorf("verify needs the dynamic pillars; incompatible with dry_run")
+	}
+	if r.ArchCompare != "" && r.Workload == "" {
+		return fmt.Errorf("arch_compare needs a workload analysis (uploaded kernels are already lowered for one arch)")
 	}
 	if r.SimWorkers < 0 {
 		return fmt.Errorf("sim_workers must be >= 0")

@@ -476,6 +476,9 @@ func (s *Service) notePanic(err error) {
 // returns nil when the job reached a terminal state itself; an error
 // means the attempt failed and the retry loop decides what happens.
 func (s *Service) executeAttempt(j *Job) error {
+	if j.req.ArchCompare != "" {
+		return s.executeArchCompare(j)
+	}
 	// Stage 1: build — resolve the request to a kernel + launch harness.
 	t0 := time.Now()
 	k, arch, opts, run, err := s.resolve(j.req)
@@ -581,6 +584,128 @@ func (s *Service) executeAttempt(j *Job) error {
 	return nil
 }
 
+// executeArchCompare is the cross-arch job path: the workload is lowered
+// and analyzed on both requested architectures and the job's report is
+// the comparison document (finding deltas plus both full reports).
+func (s *Service) executeArchCompare(j *Job) error {
+	req := j.req
+	baseName := req.Arch
+	if baseName == "" {
+		baseName = "sm_70"
+	}
+	baseArch, err := gpu.ByName(baseName)
+	if err != nil {
+		return err
+	}
+	otherArch, err := gpu.ByName(req.ArchCompare)
+	if err != nil {
+		return err
+	}
+	simWorkers := req.SimWorkers
+	if simWorkers <= 0 {
+		simWorkers = s.cfg.SimWorkers
+	}
+	opts := scout.Options{
+		DryRun:         req.DryRun,
+		SamplingPeriod: req.SamplingPeriod,
+		Sim:            sim.Config{SampleSMs: req.SampleSMs, Workers: simWorkers},
+		Budgets:        s.cfg.StageBudgets,
+	}
+
+	// Stage 1: build both lowerings up front — the base kernel's
+	// canonical SASS anchors the cache key, and a build error should
+	// fail before any simulation runs.
+	t0 := time.Now()
+	type lowered struct {
+		arch gpu.Arch
+		w    *workloads.Workload
+	}
+	var variants [2]lowered
+	for i, arch := range []gpu.Arch{baseArch, otherArch} {
+		w, err := workloads.BuildArch(req.Workload, req.Scale, arch)
+		if err != nil {
+			s.stageDuration["build"].Observe(time.Since(t0).Seconds())
+			return err
+		}
+		variants[i] = lowered{arch, w}
+	}
+	s.stageDuration["build"].Observe(time.Since(t0).Seconds())
+
+	// Stage 2: cache probe. The launch fingerprint carries the second
+	// arch tag, so a comparison never shares an entry with the plain
+	// report of the same workload.
+	launch := fmt.Sprintf("workload=%s scale=%d archcmp=%s", req.Workload, req.Scale, otherArch.SM)
+	key := CacheKey(sass.Print(variants[0].w.Kernel), baseArch.SM, launch, opts, req.Verify)
+	if data, ok := s.cache.get(key); ok {
+		s.cacheHits.Inc()
+		j.finish(s.countFinish(StateDone), data, "", true)
+		return nil
+	}
+	if s.cfg.PeerFill != nil {
+		if data, ok := s.cfg.PeerFill(j.ctx, j.fingerprint, key); ok && len(data) > 0 {
+			s.peerFillHits.Inc()
+			s.cache.put(key, data)
+			j.finish(s.countFinish(StateDone), data, "", true)
+			return nil
+		}
+		s.peerFillMiss.Inc()
+	}
+	s.cacheMisses.Inc()
+
+	// Stage 3: both pipelines (and optional verification), sequentially
+	// under the job's context.
+	t1 := time.Now()
+	reps := make([]*scout.Report, 2)
+	for i, v := range variants {
+		arch, w := v.arch, v.w
+		var run scout.RunContextFunc
+		if !opts.DryRun {
+			run = func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+				res, err := workloads.ExecuteContext(ctx, w, sim.NewDevice(arch), cfg)
+				if err == nil {
+					s.simWall.Observe(res.Host.WallSeconds)
+					s.simSpeedup.Observe(res.Host.Speedup())
+				}
+				return res, err
+			}
+		}
+		rep, err := scout.AnalyzeContext(j.ctx, arch, w.Kernel, run, opts)
+		if err != nil {
+			s.stageDuration["analyze"].Observe(time.Since(t1).Seconds())
+			return err
+		}
+		if req.Verify {
+			sum, err := advisor.Verify(j.ctx, rep, req.Workload, req.Scale, arch, opts.Sim)
+			if err != nil {
+				s.stageDuration["analyze"].Observe(time.Since(t1).Seconds())
+				return fmt.Errorf("verify on %s: %w", arch.SM, err)
+			}
+			s.verifications[scout.VerdictConfirmed].Add(uint64(sum.Confirmed))
+			s.verifications[scout.VerdictNeutral].Add(uint64(sum.Neutral))
+			s.verifications[scout.VerdictRefuted].Add(uint64(sum.Refuted))
+		}
+		reps[i] = rep
+	}
+	s.stageDuration["analyze"].Observe(time.Since(t1).Seconds())
+
+	// Stage 4: diff, encode, cache (only clean runs, as in the plain
+	// path), finish.
+	cmp := scout.CompareReports(reps[0], reps[1])
+	t2 := time.Now()
+	data, err := cmp.MarshalJSON()
+	s.stageDuration["encode"].Observe(time.Since(t2).Seconds())
+	if err != nil {
+		return fmt.Errorf("encode comparison: %w", err)
+	}
+	if n := len(reps[0].Degradations) + len(reps[1].Degradations); n > 0 {
+		j.setDegradations(n)
+	} else {
+		s.cache.put(key, data)
+	}
+	j.finish(s.countFinish(StateDone), data, "", false)
+	return nil
+}
+
 // countFinish bumps the per-state finished counter and passes the state
 // through, so finish call sites stay one-liners.
 func (s *Service) countFinish(st State) State {
@@ -632,7 +757,7 @@ func (s *Service) resolveRequest(req AnalyzeRequest) (*sass.Kernel, gpu.Arch, sc
 
 	switch {
 	case req.Workload != "":
-		w, err := workloads.Build(req.Workload, req.Scale)
+		w, err := workloads.BuildArch(req.Workload, req.Scale, arch)
 		if err != nil {
 			return nil, gpu.Arch{}, scout.Options{}, nil, err
 		}

@@ -111,6 +111,7 @@ func (a *launchArena) takeBlock(idx, dim Dim3) *blockState {
 	b.dim = dim
 	b.liveWarps = 0
 	b.barArrived = 0
+	b.asyncDone = 0
 	b.warps = a.blockWarps[s*a.warpsPerBlock : s*a.warpsPerBlock : (s+1)*a.warpsPerBlock]
 	for i := range b.shared {
 		b.shared[i] = 0

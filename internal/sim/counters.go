@@ -15,7 +15,8 @@ type Counters struct {
 	OpcodeDyn   map[sass.Opcode]uint64
 
 	// Sector traffic through L1TEX by space and direction. A sector is
-	// 32 bytes, matching l1tex__t_sectors_* semantics.
+	// Arch.L1SectorBytes wide (32 B on Volta, matching l1tex__t_sectors_*
+	// semantics; wider on Ampere-class targets).
 	GlobalLdSectors, GlobalLdSectorHits uint64
 	GlobalStSectors                     uint64
 	LocalLdSectors, LocalLdSectorHits   uint64
@@ -28,6 +29,11 @@ type Counters struct {
 	SharedLdInsts, SharedStInsts uint64
 	TexInsts                     uint64
 	GlobalAtomics, SharedAtomics uint64
+
+	// cp.async-style global→shared copies (LDGSTS, sm_80+). These bypass
+	// L1 and the register file, so their sectors are tracked separately
+	// from the GlobalLd* L1TEX counters.
+	AsyncCopyInsts, AsyncCopySectors uint64
 
 	// Shared-memory transactions vs accesses (bank-conflict ratio §4.3).
 	SharedLdTrans, SharedStTrans uint64
@@ -97,6 +103,9 @@ func (c *Counters) merge(o *Counters) {
 	c.TexInsts += o.TexInsts
 	c.GlobalAtomics += o.GlobalAtomics
 	c.SharedAtomics += o.SharedAtomics
+
+	c.AsyncCopyInsts += o.AsyncCopyInsts
+	c.AsyncCopySectors += o.AsyncCopySectors
 
 	c.SharedLdTrans += o.SharedLdTrans
 	c.SharedStTrans += o.SharedStTrans

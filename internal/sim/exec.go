@@ -17,6 +17,7 @@ type memAccess struct {
 	write  bool
 	atomic bool
 	nc     bool // read-only (LDG.E.NC) path
+	async  bool // cp.async-style global→shared copy (LDGSTS)
 	width  int  // bytes per lane
 	mask   uint32
 	addrs  [32]uint64
@@ -456,7 +457,7 @@ func (e *engine) exec(w *warp, in *sass.Inst, execMask uint32) (ma memAccess, er
 		})
 
 	case sass.OpLDG, sass.OpSTG, sass.OpLDL, sass.OpSTL, sass.OpLDS, sass.OpSTS,
-		sass.OpLDC, sass.OpTEX, sass.OpATOM, sass.OpATOMS, sass.OpRED:
+		sass.OpLDC, sass.OpTEX, sass.OpATOM, sass.OpATOMS, sass.OpRED, sass.OpLDGSTS:
 		ma, err = e.execMem(w, in, execMask)
 
 	case sass.OpBRA:

@@ -191,6 +191,42 @@ func (e *engine) execMem(w *warp, in *sass.Inst, execMask uint32) (memAccess, er
 			return ma, err
 		}
 
+	case sass.OpLDGSTS:
+		// cp.async-style global→shared copy (sm_80+): data moves from
+		// global memory straight into the shared segment, bypassing the
+		// register file and L1. Dst[0] is the shared address, Src[0] the
+		// global address; the timing model sees the global side (ma.addrs)
+		// and tracks completion against the block's barrier.
+		ma.space = sass.ClassGlobal
+		ma.async = true
+		shared := w.block.shared
+		if len(in.Dst) == 0 || in.Dst[0].Kind != sass.OpdMem ||
+			len(in.Src) == 0 || in.Src[0].Kind != sass.OpdMem {
+			return ma, fmt.Errorf("LDGSTS needs shared-dst and global-src memory operands")
+		}
+		sdst, gsrc := in.Dst[0], in.Src[0]
+		err := lanes(func(lane int) error {
+			gaddr := w.rd64(gsrc.Reg, lane) + uint64(gsrc.Imm)
+			ma.addrs[lane] = gaddr
+			base := uint32(0)
+			if sdst.Reg != sass.RZ {
+				base = w.rd(sdst.Reg, lane)
+			}
+			off := int(int32(base)) + int(sdst.Imm)
+			if off < 0 || off+ma.width > len(shared) {
+				return fmt.Errorf("async copy to shared at %d exceeds %d bytes of shared memory", off, len(shared))
+			}
+			var buf [4]uint32
+			if err := e.dev.load(gaddr, ma.width, &buf); err != nil {
+				return err
+			}
+			for i := 0; i < ma.width/4; i++ {
+				binary.LittleEndian.PutUint32(shared[off+4*i:], buf[i])
+			}
+			return nil
+		})
+		return ma, err
+
 	case sass.OpLDC:
 		ma.space = sass.ClassConst
 		err := lanes(func(lane int) error {

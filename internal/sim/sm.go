@@ -368,6 +368,10 @@ func (e *engine) memTiming(sm *smState, w *warp, in *sass.Inst, ma memAccess) {
 
 	switch ma.space {
 	case sass.ClassGlobal, sass.ClassLocal:
+		if ma.async {
+			e.asyncCopyTiming(sm, w, active[:], ma)
+			return
+		}
 		sectors := memsys.CoalesceSectorsInto(sm.sectorBuf, a.L1SectorBytes, ma.addrs[:], active[:], ma.width)
 		sm.sectorBuf = sectors[:0]
 		done := now
@@ -522,8 +526,52 @@ func (e *engine) memTiming(sm *smState, w *warp, in *sass.Inst, ma memAccess) {
 		e.setDstReady(sm, w, in, done-now, sass.ClassTexture)
 
 	case sass.ClassConst:
-		// Constant cache: fast uniform path.
-		e.setDstReady(sm, w, in, 8, sass.ClassALU)
+		// Constant cache: fast uniform path; latency from the arch
+		// descriptor.
+		lat := float64(a.ISA.ConstLatency)
+		if lat <= 0 {
+			lat = 8
+		}
+		e.setDstReady(sm, w, in, lat, sass.ClassALU)
+	}
+}
+
+// asyncCopyTiming models one cp.async-style LDGSTS: the global read
+// bypasses L1 and the register file, each sector going straight to the
+// L2/DRAM path while occupying an LSU MSHR, and the warp continues
+// immediately — the latency is only observed at the next barrier, which
+// waits for the block's outstanding copies (blockState.asyncDone). That
+// deferred wait is exactly how cp.async hides global-load stalls.
+func (e *engine) asyncCopyTiming(sm *smState, w *warp, active []bool, ma memAccess) {
+	a := &e.arch
+	c := sm.counters
+	now := sm.now
+	sectors := memsys.CoalesceSectorsInto(sm.sectorBuf, a.L1SectorBytes, ma.addrs[:], active, ma.width)
+	sm.sectorBuf = sectors[:0]
+	done := now
+	svcEnd := now
+	for _, s := range sectors {
+		svc := sm.lsu.Request(now, a.L1SectorBytes)
+		if svc > svcEnd {
+			svcEnd = svc
+		}
+		start := sm.lsuMiss.admit(svc, a.LSUMSHRs)
+		lat := (start - svc) + e.l2Access(sm, s, false)
+		sm.lsuMiss.push(svc + lat)
+		c.AsyncCopySectors++
+		if t := svc + lat; t > done {
+			done = t
+		}
+	}
+	sm.lgQ.push(svcEnd)
+	c.AsyncCopyInsts++
+	if b := w.block; done > b.asyncDone {
+		b.asyncDone = done
+	}
+	if done > w.lastStoreDone {
+		// The copy must land in shared memory before the block can retire
+		// even when no barrier follows.
+		w.lastStoreDone = done
 	}
 }
 
@@ -557,19 +605,31 @@ func (e *engine) l2Access(sm *smState, sector uint64, write bool) float64 {
 }
 
 // checkBarrier releases a block's barrier when every live warp arrived.
+// On async-copy architectures the barrier is also the synchronization
+// point for outstanding LDGSTS transfers: warps resume only once the
+// block's pending copies have landed in shared memory, and that residual
+// wait is attributed to the barrier (the stall cp.async converts
+// long-scoreboard time into).
 func (e *engine) checkBarrier(sm *smState, b *blockState) {
 	if b.liveWarps == 0 || b.barArrived < b.liveWarps {
 		return
 	}
+	release := sm.now + 1
+	wait := StallWait
+	if b.asyncDone > release {
+		release = b.asyncDone
+		wait = StallBarrier
+	}
 	for _, w := range b.warps {
 		if w.atBarrier {
 			w.atBarrier = false
-			w.readyAt = sm.now + 1
-			w.waitReason = StallWait
+			w.readyAt = release
+			w.waitReason = wait
 			w.clsValid = false
 		}
 	}
 	b.barArrived = 0
+	b.asyncDone = 0
 }
 
 // retireWarp handles warp completion. When the whole block retires its

@@ -51,6 +51,9 @@ type blockState struct {
 	warps      []*warp
 	liveWarps  int // warps not yet done
 	barArrived int // warps waiting at the current barrier
+	// asyncDone is the cycle the block's outstanding cp.async-style
+	// copies (LDGSTS) complete; the next barrier release waits for it.
+	asyncDone float64
 }
 
 // warp is the execution state of one 32-thread warp: functional registers

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gpuscout/internal/codegen"
+	"gpuscout/internal/gpu"
 	"gpuscout/internal/kasm"
 	"gpuscout/internal/sim"
 )
@@ -51,7 +52,7 @@ var histSharedSource = []string{
 
 // Histogram builds the workload; shared selects the optimized variant.
 // scale is elements per thread (<= 0 selects 16).
-func Histogram(shared bool, scale int) (*Workload, error) {
+func Histogram(shared bool, scale int, arch gpu.Arch) (*Workload, error) {
 	perThr := scale
 	if perThr <= 0 {
 		perThr = histPerThr
@@ -60,7 +61,7 @@ func Histogram(shared bool, scale int) (*Workload, error) {
 	if shared {
 		name, file, source = "_Z6hist_sPKiPfi", "hist_s.cu", histSharedSource
 	}
-	b := kasm.NewBuilder(name, "sm_70", file)
+	b := kasm.NewBuilder(name, arch.SM, file)
 	b.SetSource(source)
 	b.NumParams(3)
 
@@ -138,7 +139,7 @@ func Histogram(shared bool, scale int) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	k, err := codegen.Compile(prog, codegen.Options{})
+	k, err := codegen.Compile(prog, codegen.Options{Arch: arch})
 	if err != nil {
 		return nil, err
 	}
@@ -205,6 +206,6 @@ func Histogram(shared bool, scale int) (*Workload, error) {
 }
 
 func init() {
-	register("histogram_global", func(scale int) (*Workload, error) { return Histogram(false, scale) })
-	register("histogram_shared", func(scale int) (*Workload, error) { return Histogram(true, scale) })
+	register("histogram_global", func(scale int, arch gpu.Arch) (*Workload, error) { return Histogram(false, scale, arch) })
+	register("histogram_shared", func(scale int, arch gpu.Arch) (*Workload, error) { return Histogram(true, scale, arch) })
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"gpuscout/internal/codegen"
+	"gpuscout/internal/gpu"
 	"gpuscout/internal/kasm"
 	"gpuscout/internal/sass"
 	"gpuscout/internal/sim"
@@ -74,7 +75,7 @@ var jacobiSource = []string{
 
 // Jacobi builds one §5.2 variant over a width x height grid (scale sets
 // both; <= 0 selects 512).
-func Jacobi(variant JacobiVariant, size int) (*Workload, error) {
+func Jacobi(variant JacobiVariant, size int, arch gpu.Arch) (*Workload, error) {
 	if size <= 0 {
 		size = 512
 	}
@@ -83,7 +84,7 @@ func Jacobi(variant JacobiVariant, size int) (*Workload, error) {
 	}
 	W, H := size, size
 
-	b := kasm.NewBuilder("_Z11jacobi_stepPKfPfiif", "sm_70", "jacobi.cu")
+	b := kasm.NewBuilder("_Z11jacobi_stepPKfPfiif", arch.SM, "jacobi.cu")
 	b.SetSource(jacobiSource)
 	b.NumParams(5)
 
@@ -239,7 +240,7 @@ func Jacobi(variant JacobiVariant, size int) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	k, err := codegen.Compile(prog, codegen.Options{})
+	k, err := codegen.Compile(prog, codegen.Options{Arch: arch})
 	if err != nil {
 		return nil, err
 	}
@@ -339,8 +340,8 @@ func jacobiVerify(in, got []float32, W, H int, res *sim.Result) error {
 }
 
 func init() {
-	register("jacobi_naive", func(scale int) (*Workload, error) { return Jacobi(JacobiNaive, scale) })
-	register("jacobi_texture", func(scale int) (*Workload, error) { return Jacobi(JacobiTexture, scale) })
-	register("jacobi_restrict", func(scale int) (*Workload, error) { return Jacobi(JacobiRestrict, scale) })
-	register("jacobi_shared", func(scale int) (*Workload, error) { return Jacobi(JacobiShared, scale) })
+	register("jacobi_naive", func(scale int, arch gpu.Arch) (*Workload, error) { return Jacobi(JacobiNaive, scale, arch) })
+	register("jacobi_texture", func(scale int, arch gpu.Arch) (*Workload, error) { return Jacobi(JacobiTexture, scale, arch) })
+	register("jacobi_restrict", func(scale int, arch gpu.Arch) (*Workload, error) { return Jacobi(JacobiRestrict, scale, arch) })
+	register("jacobi_shared", func(scale int, arch gpu.Arch) (*Workload, error) { return Jacobi(JacobiShared, scale, arch) })
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"gpuscout/internal/codegen"
+	"gpuscout/internal/gpu"
 	"gpuscout/internal/kasm"
 	"gpuscout/internal/sim"
 )
@@ -62,7 +63,7 @@ var mixbenchSource = []string{
 
 // Mixbench builds one variant. computeIterations <= 0 selects the paper's
 // 96. vectorized applies the Listing-2 float4/double4/int4 modification.
-func Mixbench(t MixType, vectorized bool, computeIterations int) (*Workload, error) {
+func Mixbench(t MixType, vectorized bool, computeIterations int, arch gpu.Arch) (*Workload, error) {
 	if computeIterations <= 0 {
 		computeIterations = 96
 	}
@@ -75,7 +76,7 @@ func Mixbench(t MixType, vectorized bool, computeIterations int) (*Workload, err
 		variant = "vec4"
 	}
 	name := fmt.Sprintf("_Z14benchmark_func%s%sPS_", map[MixType]string{MixSP: "f", MixDP: "d", MixInt: "i"}[t], "")
-	b := kasm.NewBuilder(name, "sm_70", "mixbench.cu")
+	b := kasm.NewBuilder(name, arch.SM, "mixbench.cu")
 	b.SetSource(mixbenchSource)
 	b.NumParams(2)
 
@@ -141,7 +142,7 @@ func Mixbench(t MixType, vectorized bool, computeIterations int) (*Workload, err
 	if err != nil {
 		return nil, err
 	}
-	k, err := codegen.Compile(prog, codegen.Options{})
+	k, err := codegen.Compile(prog, codegen.Options{Arch: arch})
 	if err != nil {
 		return nil, err
 	}
@@ -354,10 +355,10 @@ func mixVerifyI32(orig, got []int32, seed int32, threads int, res *sim.Result) e
 }
 
 func init() {
-	register("mixbench_sp_naive", func(scale int) (*Workload, error) { return Mixbench(MixSP, false, scale) })
-	register("mixbench_sp_vec4", func(scale int) (*Workload, error) { return Mixbench(MixSP, true, scale) })
-	register("mixbench_dp_naive", func(scale int) (*Workload, error) { return Mixbench(MixDP, false, scale) })
-	register("mixbench_dp_vec4", func(scale int) (*Workload, error) { return Mixbench(MixDP, true, scale) })
-	register("mixbench_int_naive", func(scale int) (*Workload, error) { return Mixbench(MixInt, false, scale) })
-	register("mixbench_int_vec4", func(scale int) (*Workload, error) { return Mixbench(MixInt, true, scale) })
+	register("mixbench_sp_naive", func(scale int, arch gpu.Arch) (*Workload, error) { return Mixbench(MixSP, false, scale, arch) })
+	register("mixbench_sp_vec4", func(scale int, arch gpu.Arch) (*Workload, error) { return Mixbench(MixSP, true, scale, arch) })
+	register("mixbench_dp_naive", func(scale int, arch gpu.Arch) (*Workload, error) { return Mixbench(MixDP, false, scale, arch) })
+	register("mixbench_dp_vec4", func(scale int, arch gpu.Arch) (*Workload, error) { return Mixbench(MixDP, true, scale, arch) })
+	register("mixbench_int_naive", func(scale int, arch gpu.Arch) (*Workload, error) { return Mixbench(MixInt, false, scale, arch) })
+	register("mixbench_int_vec4", func(scale int, arch gpu.Arch) (*Workload, error) { return Mixbench(MixInt, true, scale, arch) })
 }

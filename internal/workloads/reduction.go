@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gpuscout/internal/codegen"
+	"gpuscout/internal/gpu"
 	"gpuscout/internal/kasm"
 	"gpuscout/internal/sim"
 )
@@ -39,12 +40,12 @@ var redShflSource = []string{
 }
 
 // Reduction builds one variant. scale is unused (fixed size).
-func Reduction(shfl bool) (*Workload, error) {
+func Reduction(shfl bool, arch gpu.Arch) (*Workload, error) {
 	name, file, source := "_Z6reducePKfPf", "reduce.cu", redAtomicSource
 	if shfl {
 		name, file, source = "_Z8reduce_wPKfPf", "reduce_w.cu", redShflSource
 	}
-	b := kasm.NewBuilder(name, "sm_70", file)
+	b := kasm.NewBuilder(name, arch.SM, file)
 	b.SetSource(source)
 	b.NumParams(2)
 
@@ -81,7 +82,7 @@ func Reduction(shfl bool) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	k, err := codegen.Compile(prog, codegen.Options{})
+	k, err := codegen.Compile(prog, codegen.Options{Arch: arch})
 	if err != nil {
 		return nil, err
 	}
@@ -143,6 +144,6 @@ func Reduction(shfl bool) (*Workload, error) {
 }
 
 func init() {
-	register("reduction_atomic", func(scale int) (*Workload, error) { return Reduction(false) })
-	register("reduction_shfl", func(scale int) (*Workload, error) { return Reduction(true) })
+	register("reduction_atomic", func(scale int, arch gpu.Arch) (*Workload, error) { return Reduction(false, arch) })
+	register("reduction_shfl", func(scale int, arch gpu.Arch) (*Workload, error) { return Reduction(true, arch) })
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gpuscout/internal/gpu"
 	"gpuscout/internal/sass"
 	"gpuscout/internal/sim"
 )
@@ -41,8 +42,10 @@ type Workload struct {
 }
 
 // Factory builds a workload at a given problem scale (the meaning of
-// "scale" is workload-specific; see each constructor).
-type Factory func(scale int) (*Workload, error)
+// "scale" is workload-specific; see each constructor) for a target
+// architecture. The kernels themselves are written against the
+// arch-neutral kasm IR; the arch drives codegen's per-target lowering.
+type Factory func(scale int, arch gpu.Arch) (*Workload, error)
 
 var (
 	factories = map[string]Factory{}
@@ -73,13 +76,24 @@ func Names() []string {
 }
 
 // Build constructs a registered workload at the given scale (0 selects
-// the workload's default scale).
+// the workload's default scale) for the default Volta-class target.
 func Build(name string, scale int) (*Workload, error) {
+	return BuildArch(name, scale, gpu.V100())
+}
+
+// BuildArch constructs a registered workload compiled for the given
+// architecture: the same arch-neutral kernel source, lowered by the
+// arch's codegen backend (e.g. LDG+STS fused into cp.async-style LDGSTS
+// on sm_80).
+func BuildArch(name string, scale int, arch gpu.Arch) (*Workload, error) {
 	f, ok := factories[name]
 	if !ok {
 		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
 	}
-	return f(scale)
+	if arch.Name == "" {
+		arch = gpu.V100()
+	}
+	return f(scale, arch)
 }
 
 // Execute prepares and launches the workload on a fresh device, verifies

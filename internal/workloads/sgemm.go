@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"gpuscout/internal/codegen"
+	"gpuscout/internal/gpu"
 	"gpuscout/internal/kasm"
 	"gpuscout/internal/sass"
 	"gpuscout/internal/sim"
@@ -108,7 +109,7 @@ var sgemmSharedVecSource = []string{
 
 // SGEMM builds one §5.3 variant for N x N matrices (scale = N; <= 0
 // selects 256).
-func SGEMM(variant SGEMMVariant, n int) (*Workload, error) {
+func SGEMM(variant SGEMMVariant, n int, arch gpu.Arch) (*Workload, error) {
 	if n <= 0 {
 		n = 256
 	}
@@ -132,7 +133,7 @@ func SGEMM(variant SGEMMVariant, n int) (*Workload, error) {
 	default:
 		file, source = "sgemm_shared_vec.cu", sgemmSharedVecSource
 	}
-	b := kasm.NewBuilder("_Z5sgemm"+variant.String(), "sm_70", file)
+	b := kasm.NewBuilder("_Z5sgemm"+variant.String(), arch.SM, file)
 	b.SetSource(source)
 	b.NumParams(6)
 
@@ -364,7 +365,7 @@ func SGEMM(variant SGEMMVariant, n int) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	k, err := codegen.Compile(prog, codegen.Options{})
+	k, err := codegen.Compile(prog, codegen.Options{Arch: arch})
 	if err != nil {
 		return nil, err
 	}
@@ -465,10 +466,10 @@ func sgemmVerify(aH, bH, cH, got []float32, n int, alpha, beta float32, naive bo
 }
 
 func init() {
-	register("sgemm_naive", func(scale int) (*Workload, error) { return SGEMM(SGEMMNaive, scale) })
-	register("sgemm_restrict", func(scale int) (*Workload, error) { return SGEMM(SGEMMRestrict, scale) })
-	register("sgemm_shared", func(scale int) (*Workload, error) { return SGEMM(SGEMMShared, scale) })
-	register("sgemm_shared_vec", func(scale int) (*Workload, error) { return SGEMM(SGEMMSharedVec, scale) })
+	register("sgemm_naive", func(scale int, arch gpu.Arch) (*Workload, error) { return SGEMM(SGEMMNaive, scale, arch) })
+	register("sgemm_restrict", func(scale int, arch gpu.Arch) (*Workload, error) { return SGEMM(SGEMMRestrict, scale, arch) })
+	register("sgemm_shared", func(scale int, arch gpu.Arch) (*Workload, error) { return SGEMM(SGEMMShared, scale, arch) })
+	register("sgemm_shared_vec", func(scale int, arch gpu.Arch) (*Workload, error) { return SGEMM(SGEMMSharedVec, scale, arch) })
 }
 
 // Compile-time checks that variants stay registered in sass terms.

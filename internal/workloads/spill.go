@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"gpuscout/internal/codegen"
+	"gpuscout/internal/gpu"
 	"gpuscout/internal/kasm"
 	"gpuscout/internal/sim"
 )
@@ -39,24 +40,24 @@ var spillSource = []string{
 
 // SpillPressureWorkload builds the workload; scale is the iteration count
 // (<= 0 selects 32).
-func SpillPressureWorkload(scale int) (*Workload, error) {
-	return spillWorkload(scale, spillBudget)
+func SpillPressureWorkload(scale int, arch gpu.Arch) (*Workload, error) {
+	return spillWorkload(scale, spillBudget, arch)
 }
 
 // SpillReliefWorkload is the same kernel compiled without the register
 // cap — the §4.2 fix (raise -maxrregcount / drop the launch-bounds
 // constraint) — so the advisor can re-execute the recommendation and
 // measure the spill traffic disappearing.
-func SpillReliefWorkload(scale int) (*Workload, error) {
-	return spillWorkload(scale, 0)
+func SpillReliefWorkload(scale int, arch gpu.Arch) (*Workload, error) {
+	return spillWorkload(scale, 0, arch)
 }
 
-func spillWorkload(scale, maxRegs int) (*Workload, error) {
+func spillWorkload(scale, maxRegs int, arch gpu.Arch) (*Workload, error) {
 	iters := scale
 	if iters <= 0 {
 		iters = spillIters
 	}
-	b := kasm.NewBuilder("_Z8pressurePKfPfi", "sm_70", "pressure.cu")
+	b := kasm.NewBuilder("_Z8pressurePKfPfi", arch.SM, "pressure.cu")
 	b.SetSource(spillSource)
 	b.NumParams(3)
 
@@ -105,7 +106,7 @@ func spillWorkload(scale, maxRegs int) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	k, err := codegen.Compile(prog, codegen.Options{MaxRegs: maxRegs})
+	k, err := codegen.Compile(prog, codegen.Options{MaxRegs: maxRegs, Arch: arch})
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gpuscout/internal/codegen"
+	"gpuscout/internal/gpu"
 	"gpuscout/internal/kasm"
 	"gpuscout/internal/sim"
 )
@@ -83,7 +84,7 @@ var transposeSources = map[TransposeVariant][]string{
 
 // Transpose builds one variant for an N x N float matrix (scale = N;
 // <= 0 selects 256).
-func Transpose(variant TransposeVariant, n int) (*Workload, error) {
+func Transpose(variant TransposeVariant, n int, arch gpu.Arch) (*Workload, error) {
 	if n <= 0 {
 		n = 256
 	}
@@ -96,7 +97,7 @@ func Transpose(variant TransposeVariant, n int) (*Workload, error) {
 		TransposePadded: "_Z11transpose_pPKfPfi",
 	}[variant]
 	file := "transpose_" + variant.String() + ".cu"
-	b := kasm.NewBuilder(name, "sm_70", file)
+	b := kasm.NewBuilder(name, arch.SM, file)
 	b.SetSource(transposeSources[variant])
 	b.NumParams(3)
 
@@ -180,7 +181,7 @@ func Transpose(variant TransposeVariant, n int) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	k, err := codegen.Compile(prog, codegen.Options{})
+	k, err := codegen.Compile(prog, codegen.Options{Arch: arch})
 	if err != nil {
 		return nil, err
 	}
@@ -240,7 +241,7 @@ func Transpose(variant TransposeVariant, n int) (*Workload, error) {
 }
 
 func init() {
-	register("transpose_naive", func(scale int) (*Workload, error) { return Transpose(TransposeNaive, scale) })
-	register("transpose_shared", func(scale int) (*Workload, error) { return Transpose(TransposeShared, scale) })
-	register("transpose_padded", func(scale int) (*Workload, error) { return Transpose(TransposePadded, scale) })
+	register("transpose_naive", func(scale int, arch gpu.Arch) (*Workload, error) { return Transpose(TransposeNaive, scale, arch) })
+	register("transpose_shared", func(scale int, arch gpu.Arch) (*Workload, error) { return Transpose(TransposeShared, scale, arch) })
+	register("transpose_padded", func(scale int, arch gpu.Arch) (*Workload, error) { return Transpose(TransposePadded, scale, arch) })
 }
