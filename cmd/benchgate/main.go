@@ -14,7 +14,13 @@
 //     on hosts where it cannot win any), or
 //   - -gate-allocs is set and any paired run reports more than that many
 //     allocs/op (the simulator hot path is arena-backed and must stay
-//     allocation-free after launch setup; see DESIGN.md).
+//     allocation-free after launch setup; see DESIGN.md), or
+//   - -max-drift is set and any paired run's multi-CPU ns/op exceeds the
+//     same pair in the most recent prior trajectory entry by more than
+//     that factor. "Most recent" is selected by date (latestEntry), not
+//     file position — trajectories merged from parallel CI branches hold
+//     entries out of chronological order, and gating against the last
+//     array element would silently compare with a stale run.
 //
 // The -out file is a trajectory: a JSON array of dated entries, one per
 // benchgate run, appended to — never overwritten — so the committed file
@@ -96,6 +102,7 @@ func main() {
 		cpuList    = flag.String("cpu-list", "", "comma-separated GOMAXPROCS values the -cpu flag ran with; only these are recognized as -N name suffixes (default: the -cpus value)")
 		maxRatio   = flag.Float64("max-ratio", 1.10, "fail when parallel ns/op exceeds sequential by this factor")
 		gateAllocs = flag.Float64("gate-allocs", 0, "fail when any paired run reports more than this many allocs/op (0 = off; requires -benchmem)")
+		maxDrift   = flag.Float64("max-drift", 0, "fail when a pair's parallel ns/op exceeds the most recent prior trajectory entry's by this factor (0 = off; needs -out history)")
 		note       = flag.String("note", "", "free-form note recorded in the trajectory entry")
 	)
 	flag.Parse()
@@ -130,12 +137,16 @@ func main() {
 		}
 		os.Stdout.Write(append(data, '\n'))
 	} else if *out != "" {
-		// Trend line against the most recent prior run — selected by
-		// date, not file position (see latestEntry). Unreadable history
-		// is not fatal here; appendEntry will surface it.
+		// Trend line and drift gate against the most recent prior run —
+		// both selected by date, not file position (see latestEntry).
+		// Unreadable history is not fatal here; appendEntry will surface
+		// it.
 		if entries, err := loadTrajectory(*out); err == nil {
 			if prev, ok := latestEntry(entries); ok {
 				printTrend(prev, rep)
+			}
+			for _, v := range gateHistory(entries, &rep, *maxDrift) {
+				fmt.Fprintf(os.Stderr, "benchgate: DRIFT — %s\n", v)
 			}
 		}
 		entry := Entry{Date: time.Now().UTC().Format(time.RFC3339), Note: *note, Report: rep}
@@ -328,6 +339,45 @@ func latestEntry(entries []Entry) (e Entry, ok bool) {
 		return Entry{}, false
 	}
 	return entries[best], true
+}
+
+// gateHistory applies the -max-drift gate: each of rep's paired runs is
+// compared against the same pair in the most recent prior trajectory
+// entry — the max-dated one per latestEntry, the same selection rule the
+// trend printing uses — and fails when ParNsPerOp grew by more than
+// maxDrift. Pairs absent from the prior entry (new benchmarks) and prior
+// pairs with no measurement pass unexamined. Returns one message per
+// violation; rep.Pass and the offending pairs' Pass flip to false. A
+// maxDrift of 0 (or an empty history) disables the gate.
+func gateHistory(entries []Entry, rep *Report, maxDrift float64) []string {
+	if maxDrift <= 0 {
+		return nil
+	}
+	prev, ok := latestEntry(entries)
+	if !ok {
+		return nil
+	}
+	prevPairs := map[string]Pair{}
+	for _, p := range prev.Pairs {
+		prevPairs[p.Name] = p
+	}
+	var violations []string
+	for i := range rep.Pairs {
+		p := &rep.Pairs[i]
+		q, ok := prevPairs[p.Name]
+		if !ok || q.ParNsPerOp <= 0 {
+			continue
+		}
+		if p.ParNsPerOp > q.ParNsPerOp*maxDrift {
+			p.Pass = false
+			rep.Pass = false
+			violations = append(violations, fmt.Sprintf(
+				"%s: %d-cpu %.0f ns/op is %.2fx the prior entry's %.0f (%s; limit %.2fx)",
+				p.Name, p.ParCPUs, p.ParNsPerOp, p.ParNsPerOp/q.ParNsPerOp, q.ParNsPerOp,
+				prev.Date, maxDrift))
+		}
+	}
+	return violations
 }
 
 // printTrend reports how this run's paired ns/op moved against the most

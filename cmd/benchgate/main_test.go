@@ -357,6 +357,111 @@ func TestLatestEntry(t *testing.T) {
 	}
 }
 
+// TestGateHistory pins the drift gate to the same max-date entry
+// selection the trend printing uses: an out-of-order trajectory must gate
+// against the newest entry by date, not the last array element.
+func TestGateHistory(t *testing.T) {
+	pair := func(name string, parNs float64) Pair {
+		return Pair{Name: name, ParNsPerOp: parNs, ParCPUs: 4, Pass: true}
+	}
+	entry := func(date string, pairs ...Pair) Entry {
+		return Entry{Date: date, Report: Report{Pairs: pairs}}
+	}
+	cases := []struct {
+		name       string
+		entries    []Entry
+		cur        []Pair
+		maxDrift   float64
+		violations int
+		wantPass   bool
+	}{
+		{
+			name:     "disabled",
+			entries:  []Entry{entry("2026-08-07T00:00:00Z", pair("x", 100))},
+			cur:      []Pair{pair("x", 1000)},
+			maxDrift: 0, violations: 0, wantPass: true,
+		},
+		{
+			name:     "empty_history",
+			entries:  nil,
+			cur:      []Pair{pair("x", 1000)},
+			maxDrift: 1.2, violations: 0, wantPass: true,
+		},
+		{
+			name:     "within_budget",
+			entries:  []Entry{entry("2026-08-07T00:00:00Z", pair("x", 100))},
+			cur:      []Pair{pair("x", 110)},
+			maxDrift: 1.2, violations: 0, wantPass: true,
+		},
+		{
+			name:     "regression",
+			entries:  []Entry{entry("2026-08-07T00:00:00Z", pair("x", 100))},
+			cur:      []Pair{pair("x", 150)},
+			maxDrift: 1.2, violations: 1, wantPass: false,
+		},
+		{
+			// The fix under test: the newest entry by date (x=200, dated
+			// Aug 8) sits before a stale one (x=100, dated Aug 6) in the
+			// array. Gating against array order would flag 210 > 100*1.2;
+			// gating against the max-dated entry accepts 210 <= 200*1.2.
+			name: "out_of_order_uses_max_date",
+			entries: []Entry{
+				entry("2026-08-08T00:00:00Z", pair("x", 200)),
+				entry("2026-08-06T00:00:00Z", pair("x", 100)),
+			},
+			cur:      []Pair{pair("x", 210)},
+			maxDrift: 1.2, violations: 0, wantPass: true,
+		},
+		{
+			// Mirror image: the stale entry is newer-positioned but
+			// older-dated and fast; the max-dated entry is slow, so a
+			// current slow run still passes.
+			name: "out_of_order_regression_detected",
+			entries: []Entry{
+				entry("2026-08-08T00:00:00Z", pair("x", 100)),
+				entry("2026-08-06T00:00:00Z", pair("x", 500)),
+			},
+			cur:      []Pair{pair("x", 150)},
+			maxDrift: 1.2, violations: 1, wantPass: false,
+		},
+		{
+			name:     "new_benchmark_unexamined",
+			entries:  []Entry{entry("2026-08-07T00:00:00Z", pair("x", 100))},
+			cur:      []Pair{pair("x", 100), pair("y", 9999)},
+			maxDrift: 1.2, violations: 0, wantPass: true,
+		},
+		{
+			name:     "prior_without_measurement_unexamined",
+			entries:  []Entry{entry("2026-08-07T00:00:00Z", pair("x", 0))},
+			cur:      []Pair{pair("x", 9999)},
+			maxDrift: 1.2, violations: 0, wantPass: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := Report{Pass: true, Pairs: tc.cur}
+			got := gateHistory(tc.entries, &rep, tc.maxDrift)
+			if len(got) != tc.violations {
+				t.Errorf("violations = %d (%v), want %d", len(got), got, tc.violations)
+			}
+			if rep.Pass != tc.wantPass {
+				t.Errorf("rep.Pass = %t, want %t", rep.Pass, tc.wantPass)
+			}
+			if !tc.wantPass {
+				failed := 0
+				for _, p := range rep.Pairs {
+					if !p.Pass {
+						failed++
+					}
+				}
+				if failed == 0 {
+					t.Error("report failed but no pair was marked")
+				}
+			}
+		})
+	}
+}
+
 func TestParseCPUList(t *testing.T) {
 	set, err := parseCPUList("", 4)
 	if err != nil || !set[4] || len(set) != 1 {

@@ -30,6 +30,8 @@ func main() {
 		sassF    = flag.String("sass", "", "SASS text file to analyze (static analysis)")
 		dryRun   = flag.Bool("dry-run", false, "static SASS analysis only, no GPU involvement")
 		verify   = flag.Bool("verify", false, "re-execute each recommendation's paired optimized variant and attach measured verdicts (workload analyses only)")
+		sens     = flag.Bool("sensitivity", false, "re-simulate under the hardware perturbation matrix, attach dominant-resource sensitivity per finding, and rank findings by estimated speedup (workload analyses only)")
+		slices   = flag.Bool("slice", false, "attach a backward def-use slice (producer chain) to each finding's highest-stall PC")
 		archName = flag.String("arch", "sm_70", "GPU architecture (sm_70/V100, sm_60/P100, sm_80/A100; sm70/sm80 also accepted)")
 		archCmp  = flag.String("arch-compare", "", "second architecture: analyze -workload on both and print the cross-arch finding comparison")
 		sample   = flag.Int("sample-sms", 2, "SMs to simulate (sampling)")
@@ -64,6 +66,7 @@ func main() {
 		SamplingPeriod: *period,
 		Sim:            gpuscout.SimConfig{SampleSMs: *sample},
 		Budgets:        budgets,
+		StallSlices:    *slices,
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -108,10 +111,24 @@ func main() {
 				fatal(err)
 			}
 		}
+		var swept *gpuscout.Sensitivity
+		if *sens {
+			if *dryRun {
+				fatal(fmt.Errorf("-sensitivity needs a baseline measurement; drop -dry-run"))
+			}
+			swept, err = gpuscout.SweepWorkloadReportContext(ctx, rep, *workload, *scale, arch, opts)
+			if err != nil {
+				fatal(err)
+			}
+		}
 		fmt.Println(rep.Render())
 		if verified != nil {
 			fmt.Printf("verification: %d recommendation(s) re-executed — %d confirmed, %d neutral, %d refuted\n",
 				verified.Checked, verified.Confirmed, verified.Neutral, verified.Refuted)
+		}
+		if swept != nil {
+			fmt.Printf("sensitivity: %d perturbation(s) re-simulated — %s\n",
+				len(swept.Deltas), swept.Summary())
 		}
 		if *srcView {
 			fmt.Println(rep.SourceView())

@@ -314,6 +314,37 @@ func VerifyWorkloadReportContext(ctx context.Context, rep *Report, name string, 
 	return advisor.Verify(ctx, rep, name, scale, arch, opts.Sim)
 }
 
+// --- Sensitivity sweeps (advisor v2) ---
+
+// Sensitivity is a microarchitectural sensitivity sweep: the analyzed
+// kernel re-simulated under each perturbation of the hardware resource
+// matrix, with the dominant bottleneck resource named. Attached to the
+// report and, filtered per bottleneck class, to each finding.
+type Sensitivity = scout.Sensitivity
+
+// ResourceDelta is one perturbation run of a sweep.
+type ResourceDelta = scout.ResourceDelta
+
+// StallSlice is the backward producer chain explaining one high-stall PC
+// (enable with Options.StallSlices).
+type StallSlice = scout.StallSlice
+
+// SweepWorkloadReport re-simulates the analyzed workload under the
+// perturbation matrix (±L1/L2 capacity, DRAM latency/bandwidth, shared
+// banks, issue width, scoreboards), attaches the sensitivity analysis to
+// the report and its findings, widens each finding's estimated speedup by
+// the measured headroom, and re-orders the findings by payoff. The report
+// must come from a non-dry-run analysis of the named workload.
+func SweepWorkloadReport(rep *Report, name string, scale int, arch Arch, opts Options) (*Sensitivity, error) {
+	return advisor.Sweep(context.Background(), rep, name, scale, arch, opts.Sim)
+}
+
+// SweepWorkloadReportContext is SweepWorkloadReport with cancellation:
+// every perturbed launch polls ctx, so per-job timeouts cover the sweep.
+func SweepWorkloadReportContext(ctx context.Context, rep *Report, name string, scale int, arch Arch, opts Options) (*Sensitivity, error) {
+	return advisor.Sweep(ctx, rep, name, scale, arch, opts.Sim)
+}
+
 // --- The gpuscoutd analysis service ---
 
 // Service is the long-lived analysis service behind cmd/gpuscoutd: a

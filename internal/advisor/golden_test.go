@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"gpuscout/internal/gpu"
+	"gpuscout/internal/scout"
 	"gpuscout/internal/sim"
 	"gpuscout/internal/workloads"
 )
@@ -41,17 +42,35 @@ func goldenScale(t *testing.T, name string) int {
 	return scale
 }
 
-// goldenReport produces the verified report for one workload at the given
-// simulator parallelism, in both text and JSON forms. The SASS-analysis
-// overhead is wall-clock time and is zeroed: everything else in a report
-// is deterministic.
+// goldenReport produces the full advisor-v2 report for one workload at
+// the given simulator parallelism, in both text and JSON forms: analysis
+// with backward stall slices, counterfactual verification, and the
+// sensitivity sweep with its payoff-ranked finding order. The goldens
+// lock the complete surface — slice chains, sensitivity matrices, and
+// estimated-speedup ordering included. The SASS-analysis overhead is
+// wall-clock time and is zeroed: everything else in a report is
+// deterministic.
 func goldenReport(t *testing.T, name string, workers int, arch gpu.Arch) (string, []byte) {
 	t.Helper()
 	scale := goldenScale(t, name)
 	cfg := sim.Config{SampleSMs: 1, Workers: workers}
-	rep := analyzeArch(t, name, scale, cfg, arch)
+	w, err := workloads.BuildArch(name, scale, arch)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	run := func(ctx context.Context, c sim.Config) (*sim.Result, error) {
+		return workloads.ExecuteContext(ctx, w, sim.NewDevice(arch), c)
+	}
+	rep, err := scout.AnalyzeContext(context.Background(), arch, w.Kernel, run,
+		scout.Options{Sim: cfg, StallSlices: true})
+	if err != nil {
+		t.Fatalf("analyze %s: %v", name, err)
+	}
 	if _, err := Verify(context.Background(), rep, name, scale, arch, cfg); err != nil {
 		t.Fatalf("verify %s: %v", name, err)
+	}
+	if _, err := Sweep(context.Background(), rep, name, scale, arch, cfg); err != nil {
+		t.Fatalf("sweep %s: %v", name, err)
 	}
 	rep.OverheadSASSCycles = 0
 	text := rep.Render()

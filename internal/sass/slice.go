@@ -1,0 +1,96 @@
+package sass
+
+import "sort"
+
+// SliceStep is one instruction on a backward def-use slice.
+type SliceStep struct {
+	// Index is the instruction's position in Kernel.Insts.
+	Index int
+	// Depth is the number of def-use hops from the sliced instruction
+	// (0 = the sliced instruction itself, 1 = the direct producers of
+	// its source operands, ...).
+	Depth int
+	// Reg is the register whose definition pulled this instruction into
+	// the slice (RZ for the root).
+	Reg Reg
+}
+
+// BackwardSlice walks def-use chains backward from the instruction at
+// index target: the instruction itself, the producers of its source
+// registers, their producers, and so on, up to maxDepth hops and
+// maxInsts instructions. This is the LEO-style causal walk from a
+// high-stall PC to the instruction(s) that actually caused the stall —
+// a long-scoreboard stall surfaces at the consumer, but the cause is
+// the load that defined the awaited register, and behind that the
+// address arithmetic feeding the load.
+//
+// Reaching definitions are program-order (DefUse.LastDefBefore). A use
+// whose only definitions come later in program order is loop-carried:
+// the walk then takes the last definition in the program, which in a
+// natural loop is the back-edge reaching definition. Predicate
+// dependencies are not followed — the slice explains dataflow, not
+// control.
+//
+// Every returned instruction is on a def-use path to target; the slice
+// is returned in program order (the root included). Depth and the
+// pulling register are reported per step so callers can render the
+// chain.
+func (du *DefUse) BackwardSlice(target, maxDepth, maxInsts int) []SliceStep {
+	k := du.Kernel
+	if target < 0 || target >= len(k.Insts) {
+		return nil
+	}
+	if maxDepth <= 0 {
+		maxDepth = 4
+	}
+	if maxInsts <= 0 {
+		maxInsts = 12
+	}
+	type item struct {
+		idx   int
+		depth int
+		reg   Reg
+	}
+	best := map[int]item{target: {target, 0, RZ}}
+	queue := []item{{target, 0, RZ}}
+	var scratch [8]Reg
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		if cur.depth >= maxDepth || len(best) >= maxInsts {
+			continue
+		}
+		in := &k.Insts[cur.idx]
+		for _, r := range in.SrcRegs(scratch[:0]) {
+			if r == RZ {
+				continue
+			}
+			def := du.LastDefBefore(r, cur.idx)
+			if def < 0 {
+				// Loop-carried: the only definitions are later in program
+				// order; the last one is the back-edge reaching def. A
+				// register with no definitions at all is a kernel input.
+				if defs := du.Defs[r]; len(defs) > 0 {
+					def = defs[len(defs)-1]
+				}
+			}
+			if def < 0 || def == cur.idx {
+				continue
+			}
+			if _, seen := best[def]; seen {
+				continue
+			}
+			if len(best) >= maxInsts {
+				break
+			}
+			st := item{def, cur.depth + 1, r}
+			best[def] = st
+			queue = append(queue, st)
+		}
+	}
+	out := make([]SliceStep, 0, len(best))
+	for _, st := range best {
+		out = append(out, SliceStep{Index: st.idx, Depth: st.depth, Reg: st.reg})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}

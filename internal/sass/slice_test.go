@@ -1,0 +1,139 @@
+package sass
+
+import "testing"
+
+// sliceKernel builds a small straight-line kernel with a clear producer
+// chain feeding a stalled consumer:
+//
+//	0: IMAD   R2, R0, R1, RZ     ; address arithmetic
+//	1: IADD3  R4, R2, 0x10, RZ   ; address arithmetic
+//	2: LDG.E  R6, [R4]           ; the true producer (long-scoreboard source)
+//	3: MOV    R10, 0x7           ; unrelated
+//	4: FADD   R8, R6, R6         ; the stalled consumer
+func sliceKernel() *Kernel {
+	k := &Kernel{Name: "slice_test", Arch: "sm_70"}
+	k.Insts = []Inst{
+		{PC: 0, Pred: PT, Op: OpIMAD, Dst: []Operand{R(2)}, Src: []Operand{R(0), R(1), R(RZ)}, Ctrl: DefaultCtrl(), Line: 10},
+		{PC: 16, Pred: PT, Op: OpIADD3, Dst: []Operand{R(4)}, Src: []Operand{R(2), Imm(0x10), R(RZ)}, Ctrl: DefaultCtrl(), Line: 11},
+		{PC: 32, Pred: PT, Op: OpLDG, Mods: []string{"E"}, Dst: []Operand{R(6)}, Src: []Operand{Mem(4, 0)}, Ctrl: DefaultCtrl(), Line: 12},
+		{PC: 48, Pred: PT, Op: OpMOV, Dst: []Operand{R(10)}, Src: []Operand{Imm(7)}, Ctrl: DefaultCtrl(), Line: 13},
+		{PC: 64, Pred: PT, Op: OpFADD, Dst: []Operand{R(8)}, Src: []Operand{R(6), R(6)}, Ctrl: DefaultCtrl(), Line: 14},
+	}
+	return k
+}
+
+func TestBackwardSliceChain(t *testing.T) {
+	k := sliceKernel()
+	du := ComputeDefUse(k)
+
+	steps := du.BackwardSlice(4, 0, 0)
+	want := map[int]int{0: 3, 1: 2, 2: 1, 4: 0} // index -> depth
+	if len(steps) != len(want) {
+		t.Fatalf("slice has %d steps %v, want %d", len(steps), steps, len(want))
+	}
+	for i, st := range steps {
+		d, ok := want[st.Index]
+		if !ok {
+			t.Errorf("step %d: unexpected instruction %d in slice", i, st.Index)
+			continue
+		}
+		if st.Depth != d {
+			t.Errorf("instruction %d at depth %d, want %d", st.Index, st.Depth, d)
+		}
+		if i > 0 && steps[i-1].Index >= st.Index {
+			t.Errorf("slice not in program order: %v", steps)
+		}
+	}
+	// The unrelated MOV (index 3) must never be pulled in.
+	for _, st := range steps {
+		if st.Index == 3 {
+			t.Error("unrelated instruction 3 in slice")
+		}
+	}
+}
+
+func TestBackwardSliceDepthAndSizeBounds(t *testing.T) {
+	k := sliceKernel()
+	du := ComputeDefUse(k)
+
+	// Depth 1: only the consumer and the load.
+	steps := du.BackwardSlice(4, 1, 0)
+	if len(steps) != 2 || steps[0].Index != 2 || steps[1].Index != 4 {
+		t.Fatalf("depth-1 slice = %v, want [load consumer]", steps)
+	}
+	// Size bound 2: never more than two instructions, root always present.
+	steps = du.BackwardSlice(4, 0, 2)
+	if len(steps) > 2 {
+		t.Fatalf("size-bounded slice has %d steps: %v", len(steps), steps)
+	}
+	foundRoot := false
+	for _, st := range steps {
+		if st.Index == 4 {
+			foundRoot = true
+		}
+	}
+	if !foundRoot {
+		t.Error("size-bounded slice dropped the root")
+	}
+}
+
+func TestBackwardSliceLoopCarried(t *testing.T) {
+	// A natural loop where the accumulator's only def is "later" in
+	// program order relative to the loop header use:
+	//
+	//	0: MOV   R2, 0x0           ; init (outside the chain: R2 redefined)
+	//	1: FADD  R2, R2, R4        ; loop body: R2 += R4 (self-carried)
+	//	2: FMUL  R6, R2, R2        ; consumer inside loop
+	k := &Kernel{Name: "loop", Arch: "sm_70"}
+	k.Insts = []Inst{
+		{PC: 0, Pred: PT, Op: OpMOV, Dst: []Operand{R(2)}, Src: []Operand{Imm(0)}, Ctrl: DefaultCtrl()},
+		{PC: 16, Pred: PT, Op: OpFADD, Dst: []Operand{R(2)}, Src: []Operand{R(2), R(4)}, Ctrl: DefaultCtrl()},
+		{PC: 32, Pred: PT, Op: OpFMUL, Dst: []Operand{R(6)}, Src: []Operand{R(2), R(2)}, Ctrl: DefaultCtrl()},
+	}
+	du := ComputeDefUse(k)
+
+	steps := du.BackwardSlice(2, 0, 0)
+	got := map[int]bool{}
+	for _, st := range steps {
+		got[st.Index] = true
+	}
+	// FMUL's R2 reaches the FADD at 1; the FADD's own R2 source reaches
+	// the MOV at 0 (program order). All three are on the def-use path.
+	for _, idx := range []int{0, 1, 2} {
+		if !got[idx] {
+			t.Errorf("loop slice missing instruction %d: %v", idx, steps)
+		}
+	}
+
+	// Slicing the FADD itself: its R2 source has no earlier def besides
+	// the MOV, so LastDefBefore finds it; but a use *before* any def in
+	// program order must fall back to the last def (back-edge).
+	k2 := &Kernel{Name: "backedge", Arch: "sm_70"}
+	k2.Insts = []Inst{
+		// 0: FMUL R6, R2, R2 — uses R2 before any def (loop rotated)
+		{PC: 0, Pred: PT, Op: OpFMUL, Dst: []Operand{R(6)}, Src: []Operand{R(2), R(2)}, Ctrl: DefaultCtrl()},
+		// 1: FADD R2, R6, R4 — the back-edge def of R2
+		{PC: 16, Pred: PT, Op: OpFADD, Dst: []Operand{R(2)}, Src: []Operand{R(6), R(4)}, Ctrl: DefaultCtrl()},
+	}
+	du2 := ComputeDefUse(k2)
+	steps2 := du2.BackwardSlice(0, 1, 0)
+	found := false
+	for _, st := range steps2 {
+		if st.Index == 1 && st.Depth == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("back-edge def not found: %v", steps2)
+	}
+}
+
+func TestBackwardSliceInvalidTarget(t *testing.T) {
+	du := ComputeDefUse(sliceKernel())
+	if s := du.BackwardSlice(-1, 0, 0); s != nil {
+		t.Errorf("negative target returned %v", s)
+	}
+	if s := du.BackwardSlice(99, 0, 0); s != nil {
+		t.Errorf("out-of-range target returned %v", s)
+	}
+}

@@ -90,6 +90,24 @@ type Finding struct {
 	// verification enabled and an optimized variant is paired with this
 	// finding (nil otherwise).
 	Verification *Verification
+
+	// RelevantStallShare is the fraction of all kernel stall samples that
+	// are of this finding's relevant kinds at its flagged lines (the
+	// attribution correlate computes; 0 in --dry-run).
+	RelevantStallShare float64
+	// EstSpeedup is the GPA-style modeled payoff ceiling: how much faster
+	// the kernel could run if this finding's stalls were eliminated,
+	// widened by measured sensitivity headroom when a sweep ran. Reports
+	// are ordered by it (0 in --dry-run; ≥1 otherwise).
+	EstSpeedup float64
+	// Sensitivity is this finding's view of the microarchitectural sweep:
+	// the perturbed re-simulations of the resources its bottleneck class
+	// can be bound by (nil unless the advisor ran a sweep).
+	Sensitivity *Sensitivity
+	// StallSlices are the backward producer chains explaining the
+	// highest-stall PCs at this finding's sites (nil unless the run asked
+	// for slices).
+	StallSlices []StallSlice
 }
 
 // PrimaryLine returns the first site's source line (0 when none).
@@ -100,9 +118,14 @@ func (f *Finding) PrimaryLine() int {
 	return f.Sites[0].Line
 }
 
-// sortFindings orders findings by severity (descending), then first PC.
+// sortFindings orders findings by modeled payoff (GPA-style: estimated
+// speedup, descending), then severity, then first PC. Dry-run reports
+// have all-zero estimates and fall through to the severity order.
 func sortFindings(fs []Finding) {
 	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].EstSpeedup != fs[j].EstSpeedup {
+			return fs[i].EstSpeedup > fs[j].EstSpeedup
+		}
 		if fs[i].Severity != fs[j].Severity {
 			return fs[i].Severity > fs[j].Severity
 		}
@@ -116,6 +139,10 @@ func sortFindings(fs []Finding) {
 		return pi < pj
 	})
 }
+
+// SortFindings re-applies the report's payoff ordering. The advisor calls
+// it after a sensitivity sweep widens the estimated speedups.
+func (r *Report) SortFindings() { sortFindings(r.Findings) }
 
 // Analysis is one standalone SASS detector. The modular design mirrors
 // §3: "all analyses are standalone, hence new bottleneck analyses can
@@ -174,6 +201,11 @@ type Report struct {
 	Result  *sim.Result
 	Samples *cupti.Report
 	Metrics *ncu.MetricSet
+
+	// Sensitivity is the full perturbation-matrix sweep for the kernel,
+	// attached by the advisor (nil unless a sweep ran). Per-finding
+	// filtered views live on the findings.
+	Sensitivity *Sensitivity
 
 	// Degradations is the ledger of everything this report lost to stage
 	// failures or exhausted stage budgets — empty on a clean run. A

@@ -28,6 +28,10 @@ type JSONReport struct {
 	HottestLines []JSONLineHeat     `json:"hottest_lines,omitempty"`
 
 	OverheadCycles *JSONOverhead `json:"overhead_cycles,omitempty"`
+
+	// Sensitivity is the kernel-wide perturbation sweep (present when the
+	// advisor ran one).
+	Sensitivity *JSONSensitivity `json:"sensitivity,omitempty"`
 }
 
 // JSONFinding mirrors Finding.
@@ -38,10 +42,51 @@ type JSONFinding struct {
 	Problem        string            `json:"problem"`
 	Recommendation string            `json:"recommendation"`
 	InLoop         bool              `json:"in_loop"`
+	EstSpeedup     float64           `json:"est_speedup,omitempty"`
+	StallShare     float64           `json:"relevant_stall_share,omitempty"`
 	Sites          []JSONSite        `json:"sites"`
 	StallSummary   []string          `json:"stall_summary,omitempty"`
 	MetricSummary  []string          `json:"metric_summary,omitempty"`
+	StallSlices    []JSONStallSlice  `json:"stall_slices,omitempty"`
+	Sensitivity    *JSONSensitivity  `json:"sensitivity,omitempty"`
 	Verification   *JSONVerification `json:"verification,omitempty"`
+}
+
+// JSONSensitivity mirrors Sensitivity.
+type JSONSensitivity struct {
+	BaselineCycles float64             `json:"baseline_cycles"`
+	Deltas         []JSONResourceDelta `json:"deltas"`
+	Dominant       string              `json:"dominant,omitempty"`
+	DominantRelief float64             `json:"dominant_relief,omitempty"`
+}
+
+// JSONResourceDelta mirrors ResourceDelta.
+type JSONResourceDelta struct {
+	Resource  string  `json:"resource"`
+	Direction string  `json:"direction"`
+	Factor    float64 `json:"factor"`
+	Cycles    float64 `json:"cycles"`
+	Delta     float64 `json:"delta"`
+	Helps     bool    `json:"helps"`
+}
+
+// JSONStallSlice mirrors StallSlice.
+type JSONStallSlice struct {
+	PC      uint64          `json:"pc"`
+	Line    int             `json:"line"`
+	Stall   string          `json:"stall"`
+	Samples float64         `json:"samples"`
+	Steps   []JSONSliceStep `json:"steps"`
+}
+
+// JSONSliceStep mirrors SliceStep.
+type JSONSliceStep struct {
+	PC    uint64 `json:"pc"`
+	Line  int    `json:"line"`
+	File  string `json:"file"`
+	Depth int    `json:"depth"`
+	Reg   string `json:"reg,omitempty"`
+	SASS  string `json:"sass"`
 }
 
 // JSONVerification mirrors Verification.
@@ -112,6 +157,8 @@ func (r *Report) ToJSON() *JSONReport {
 			Problem:        f.Problem,
 			Recommendation: f.Recommendation,
 			InLoop:         f.InLoop,
+			EstSpeedup:     f.EstSpeedup,
+			StallShare:     f.RelevantStallShare,
 			StallSummary:   f.StallSummary,
 			MetricSummary:  f.MetricSummary,
 		}
@@ -120,6 +167,16 @@ func (r *Report) ToJSON() *JSONReport {
 				PC: s.PC, File: s.File, Line: s.Line, SASS: s.SASS, Note: s.Note,
 			})
 		}
+		for _, sl := range f.StallSlices {
+			js := JSONStallSlice{
+				PC: sl.PC, Line: sl.Line, Stall: sl.Stall, Samples: sl.Samples,
+			}
+			for _, st := range sl.Steps {
+				js.Steps = append(js.Steps, JSONSliceStep(st))
+			}
+			jf.StallSlices = append(jf.StallSlices, js)
+		}
+		jf.Sensitivity = jsonSensitivity(f.Sensitivity)
 		if v := f.Verification; v != nil {
 			jv := &JSONVerification{
 				Workload:       v.Workload,
@@ -169,7 +226,24 @@ func (r *Report) ToJSON() *JSONReport {
 		Sampling: r.OverheadSamplingCycles,
 		Metrics:  r.OverheadMetricsCycles,
 	}
+	out.Sensitivity = jsonSensitivity(r.Sensitivity)
 	return out
+}
+
+// jsonSensitivity converts a sweep result (nil-safe).
+func jsonSensitivity(s *Sensitivity) *JSONSensitivity {
+	if s == nil {
+		return nil
+	}
+	js := &JSONSensitivity{
+		BaselineCycles: s.BaselineCycles,
+		Dominant:       s.Dominant,
+		DominantRelief: s.DominantRelief,
+	}
+	for _, d := range s.Deltas {
+		js.Deltas = append(js.Deltas, JSONResourceDelta(d))
+	}
+	return js
 }
 
 // MarshalJSON lets a Report be encoded directly.

@@ -41,6 +41,10 @@ func (r *Report) Render() string {
 		fmt.Fprintf(&b, "\n[%s] %s   (analysis: %s)\n", f.Severity, f.Title, f.Analysis)
 		fmt.Fprintf(&b, "  Problem: %s\n", wrap(f.Problem, 74, "           "))
 		fmt.Fprintf(&b, "  Advice:  %s\n", wrap(f.Recommendation, 74, "           "))
+		if f.EstSpeedup > 0 {
+			fmt.Fprintf(&b, "  Payoff:  estimated speedup ceiling %.2fx (relevant stalls are %.1f%% of kernel stall samples)\n",
+				f.EstSpeedup, 100*f.RelevantStallShare)
+		}
 		if f.InLoop {
 			b.WriteString("  Note:    pattern occurs inside a for-loop — repeated execution amplifies it\n")
 		}
@@ -67,6 +71,31 @@ func (r *Report) Render() string {
 			for _, line := range f.MetricSummary {
 				fmt.Fprintf(&b, "    %s\n", wrap(line, 72, "      "))
 			}
+		}
+		for _, sl := range f.StallSlices {
+			fmt.Fprintf(&b, "  %s\n  Stall slice (producer chain for the stalled instruction):\n", thin[:70])
+			fmt.Fprintf(&b, "    stall surfaces at pc %04x line %d: %s (%.0f samples)\n",
+				sl.PC, sl.Line, sl.Stall, sl.Samples)
+			for _, st := range sl.Steps {
+				marker := fmt.Sprintf("via %s", st.Reg)
+				if st.Depth == 0 {
+					marker = "stalled here"
+				}
+				fmt.Fprintf(&b, "      [hop %d] %s:%d  %s   <- %s\n",
+					st.Depth, st.File, st.Line, st.SASS, marker)
+			}
+		}
+		if s := f.Sensitivity; s != nil {
+			fmt.Fprintf(&b, "  %s\n  Sensitivity (kernel re-simulated under perturbed hardware):\n", thin[:70])
+			for _, d := range s.Deltas {
+				pct := 0.0
+				if s.BaselineCycles > 0 {
+					pct = 100 * d.Delta / s.BaselineCycles
+				}
+				fmt.Fprintf(&b, "    %-15s %-4s x%-4g %12.6g cycles (%+.2f%%)\n",
+					d.Resource, d.Direction, d.Factor, d.Cycles, pct)
+			}
+			fmt.Fprintf(&b, "    %s\n", wrap(s.Summary(), 72, "      "))
 		}
 		if v := f.Verification; v != nil {
 			fmt.Fprintf(&b, "  %s\n  Verification (recommendation re-executed):\n", thin[:70])
@@ -115,6 +144,24 @@ func (r *Report) Render() string {
 		fmt.Fprintf(&b, "\nOverhead: SASS analysis %.3g Mcycles | PC sampling %.3g Mcycles | metrics %.3g Mcycles (%d ncu passes) | bare kernel %.3g Mcycles\n",
 			r.OverheadSASSCycles/1e6, r.OverheadSamplingCycles/1e6,
 			r.OverheadMetricsCycles/1e6, r.Metrics.Passes, r.KernelCycles/1e6)
+	}
+
+	if s := r.Sensitivity; s != nil {
+		fmt.Fprintf(&b, "\n%s\nSensitivity matrix (kernel cycles under perturbed hardware)\n%s\n", thin, thin)
+		fmt.Fprintf(&b, "  baseline: %.6g cycles\n", s.BaselineCycles)
+		for _, d := range s.Deltas {
+			pct := 0.0
+			if s.BaselineCycles > 0 {
+				pct = 100 * d.Delta / s.BaselineCycles
+			}
+			relief := " "
+			if d.Helps {
+				relief = "+" // the direction that relieves the resource
+			}
+			fmt.Fprintf(&b, "  %s%-15s %-4s x%-4g %14.6g cycles (%+.2f%%)\n",
+				relief, d.Resource, d.Direction, d.Factor, d.Cycles, pct)
+		}
+		fmt.Fprintf(&b, "  %s\n", wrap(s.Summary(), 74, "    "))
 	}
 	return b.String()
 }

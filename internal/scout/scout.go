@@ -48,6 +48,11 @@ type Options struct {
 	Sim sim.Config
 	// Analyses overrides the detector set (nil = AllAnalyses).
 	Analyses []Analysis
+	// StallSlices attaches a backward def-use slice to each finding: the
+	// producer chain from address arithmetic through the load to the
+	// stalled consumer at the finding's highest-stall PC (LEO-style).
+	// Needs the dynamic pillars, so it is ignored in --dry-run.
+	StallSlices bool
 	// Budgets splits the context deadline (when there is one) into
 	// per-stage slices so a slow stage degrades the report instead of
 	// timing out the whole job. The zero value uses DefaultStageBudgets;
@@ -205,6 +210,18 @@ func AnalyzeContext(ctx context.Context, arch gpu.Arch, k *sass.Kernel, run RunC
 			f.MetricSummary = nil
 			rep.Degradations = append(rep.Degradations, DegradationFor(StageScout, siteCorrelate, err, false))
 		}
+		if opts.StallSlices {
+			if err := Guard(StageScout, siteSlice, func() error {
+				if err := faultinject.Hit(siteSlice); err != nil {
+					return err
+				}
+				f.StallSlices = stallSlices(f, rep)
+				return nil
+			}); err != nil {
+				f.StallSlices = nil
+				rep.Degradations = append(rep.Degradations, DegradationFor(StageScout, siteSlice, err, false))
+			}
+		}
 	}
 	sortFindings(rep.Findings)
 	return rep, nil
@@ -351,8 +368,43 @@ func correlate(f *Finding, rep *Report) {
 		"relevant stalls (%s) at the flagged lines account for %.1f%% of all kernel stall samples",
 		stallList(f.RelevantStalls), 100*relevantShare))
 
+	// GPA-style payoff ceiling: if every stall this finding attributes
+	// vanished, the kernel could at best run 1/(1-frac)x faster, where
+	// frac is the finding's share of stalls scaled by how much of the
+	// issue opportunity stalls actually cost (Amdahl over exposed stall
+	// cycles). The advisor's sensitivity sweep later widens this with
+	// measured headroom.
+	f.RelevantStallShare = relevantShare
+	frac := relevantShare * exposedStallFraction(rep.Result)
+	if frac > 0.95 {
+		frac = 0.95
+	}
+	f.EstSpeedup = 1 / (1 - frac)
+
 	// Metric analysis.
 	f.MetricSummary = metricSummary(f, rep)
+}
+
+// exposedStallFraction is the fraction of issue opportunities lost to
+// stalls: exposed stall cycles / (exposed stall cycles + issued cycles).
+// not_selected is excluded — another warp was issuing, so no latency was
+// exposed.
+func exposedStallFraction(res *sim.Result) float64 {
+	if res == nil {
+		return 0
+	}
+	var exposed float64
+	for st := sim.Stall(0); st < sim.NumStalls; st++ {
+		if st == sim.StallSelected || st == sim.StallNotSelected {
+			continue
+		}
+		exposed += res.Counters.StallCycles[st]
+	}
+	denom := exposed + res.Counters.StallCycles[sim.StallSelected]
+	if denom == 0 {
+		return 0
+	}
+	return exposed / denom
 }
 
 type lineStall struct {

@@ -1,0 +1,151 @@
+package scout_test
+
+import (
+	"context"
+	"testing"
+
+	"gpuscout/internal/gpu"
+	"gpuscout/internal/sass"
+	"gpuscout/internal/scout"
+	"gpuscout/internal/sim"
+	"gpuscout/internal/workloads"
+)
+
+// slicePropScale mirrors the differential suite's small problem sizes so
+// the all-workload sweep stays fast while still producing stall samples.
+func slicePropScale(name string) int {
+	switch name {
+	case "mixbench_sp_naive", "mixbench_sp_vec4", "mixbench_dp_naive",
+		"mixbench_dp_vec4", "mixbench_int_naive", "mixbench_int_vec4":
+		return 4
+	case "jacobi_naive", "jacobi_texture", "jacobi_restrict", "jacobi_shared":
+		return 128
+	case "sgemm_naive", "sgemm_shared", "sgemm_shared_vec":
+		return 64
+	case "transpose_naive", "transpose_shared", "transpose_padded":
+		return 64
+	case "spill_pressure", "histogram_global", "histogram_shared":
+		return 4
+	}
+	return 0
+}
+
+// TestSliceSoundnessAllWorkloads fuzzes the backward-slicing soundness
+// property over every registered workload: each instruction in a reported
+// stall slice must lie on a def-use path to the slice's stalled root.
+// The check recomputes reachability independently of the walker, with
+// permissive edges — from any instruction, every definition of each
+// source register counts as reachable (the walker commits to one reaching
+// definition; the closure accepts any, including loop-carried ones) — so
+// an unsound step fails the test without the test hard-coding the
+// walker's tie-breaks.
+func TestSliceSoundnessAllWorkloads(t *testing.T) {
+	arch := gpu.V100()
+	cfg := sim.Config{SampleSMs: 1}
+	slices := 0
+	for _, name := range workloads.Names() {
+		t.Run(name, func(t *testing.T) {
+			w, err := workloads.BuildArch(name, slicePropScale(name), arch)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			run := func(ctx context.Context, c sim.Config) (*sim.Result, error) {
+				return workloads.ExecuteContext(ctx, w, sim.NewDevice(arch), c)
+			}
+			rep, err := scout.AnalyzeContext(context.Background(), arch, w.Kernel, run,
+				scout.Options{Sim: cfg, StallSlices: true})
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			du := sass.ComputeDefUse(w.Kernel)
+			for i := range rep.Findings {
+				for _, sl := range rep.Findings[i].StallSlices {
+					slices++
+					checkSliceSound(t, w.Kernel, du, sl)
+				}
+			}
+		})
+	}
+	if slices == 0 {
+		t.Error("no workload produced a stall slice; the property was never exercised")
+	}
+}
+
+// checkSliceSound verifies one slice against the independent closure.
+func checkSliceSound(t *testing.T, k *sass.Kernel, du *sass.DefUse, sl scout.StallSlice) {
+	t.Helper()
+	root := -1
+	for _, st := range sl.Steps {
+		if st.Depth != 0 {
+			continue
+		}
+		if root >= 0 {
+			t.Errorf("slice at pc %#x has multiple depth-0 roots", sl.PC)
+		}
+		if st.PC != sl.PC {
+			t.Errorf("slice root pc %#x != slice pc %#x", st.PC, sl.PC)
+		}
+		root = int(st.PC / sass.InstBytes)
+	}
+	if root < 0 {
+		t.Errorf("slice at pc %#x lost its depth-0 root", sl.PC)
+		return
+	}
+	if len(sl.Steps) > 8 {
+		t.Errorf("slice at pc %#x has %d steps, exceeding the size bound", sl.PC, len(sl.Steps))
+	}
+	reach := backwardReachable(k, du, root)
+	for _, st := range sl.Steps {
+		idx := int(st.PC / sass.InstBytes)
+		if idx < 0 || idx >= len(k.Insts) {
+			t.Errorf("slice step pc %#x outside the kernel", st.PC)
+			continue
+		}
+		if !reach[idx] {
+			t.Errorf("slice step pc %#x (%s) is not on any def-use path to the root at pc %#x",
+				st.PC, st.SASS, sl.PC)
+		}
+		if st.Depth < 0 || st.Depth > 4 {
+			t.Errorf("slice step pc %#x has depth %d outside the walk bound", st.PC, st.Depth)
+		}
+		if st.Depth > 0 {
+			// The step was pulled in as the producer of st.Reg, so the
+			// instruction must actually define that register.
+			defines := false
+			for _, r := range k.Insts[idx].DstRegs(nil) {
+				if r.String() == st.Reg {
+					defines = true
+				}
+			}
+			if !defines {
+				t.Errorf("slice step pc %#x (%s) does not define %s, the register that pulled it in",
+					st.PC, st.SASS, st.Reg)
+			}
+		}
+	}
+}
+
+// backwardReachable computes the permissive backward def-use closure from
+// root: every definition of every source register of every reachable
+// instruction, to a fixpoint. Any sound slice is a subset of this set.
+func backwardReachable(k *sass.Kernel, du *sass.DefUse, root int) map[int]bool {
+	reach := map[int]bool{root: true}
+	queue := []int{root}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for _, r := range k.Insts[i].SrcRegs(nil) {
+			if r == sass.RZ {
+				continue
+			}
+			for _, d := range du.Defs[r] {
+				if d == i || reach[d] {
+					continue
+				}
+				reach[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	return reach
+}

@@ -263,6 +263,7 @@ func ParseStageBudgets(s string) (StageBudgets, error) {
 var (
 	siteParse     = faultinject.Register("scout.parse")
 	siteCorrelate = faultinject.Register("scout.correlate")
+	siteSlice     = faultinject.Register("scout.slice")
 )
 
 // DetectorSite names the fault-injection site of one detector.

@@ -84,10 +84,13 @@ func (c *reportCache) size() int {
 //
 // verify distinguishes reports with counterfactual Verification blocks
 // from plain ones: the same analysis with verification enabled carries
-// extra measured data, so the two must not share a cache entry.
-func CacheKey(canonicalSASS, archTag, launch string, opts scout.Options, verify bool) string {
+// extra measured data, so the two must not share a cache entry. The same
+// holds for sensitivity (perturbation-sweep blocks plus payoff-ranked
+// ordering) and opts.StallSlices (backward producer chains): each knob
+// changes the report bytes, so each is part of the address.
+func CacheKey(canonicalSASS, archTag, launch string, opts scout.Options, verify, sensitivity bool) string {
 	h := sha256.New()
-	io.WriteString(h, "gpuscoutd-report-v2\x00")
+	io.WriteString(h, "gpuscoutd-report-v3\x00")
 	io.WriteString(h, archTag)
 	h.Write([]byte{0})
 	io.WriteString(h, launch)
@@ -95,8 +98,9 @@ func CacheKey(canonicalSASS, archTag, launch string, opts scout.Options, verify 
 	// opts.Sim.Workers is deliberately not fingerprinted: the simulator
 	// guarantees bit-identical results for every worker count, so a
 	// report computed at any parallelism serves requests at all of them.
-	fmt.Fprintf(h, "dryrun=%t period=%g samplesms=%d maxcycles=%g verify=%t",
-		opts.DryRun, opts.SamplingPeriod, opts.Sim.SampleSMs, opts.Sim.MaxCycles, verify)
+	fmt.Fprintf(h, "dryrun=%t period=%g samplesms=%d maxcycles=%g verify=%t sensitivity=%t slices=%t",
+		opts.DryRun, opts.SamplingPeriod, opts.Sim.SampleSMs, opts.Sim.MaxCycles,
+		verify, sensitivity, opts.StallSlices)
 	h.Write([]byte{0})
 	io.WriteString(h, canonicalSASS)
 	return hex.EncodeToString(h.Sum(nil))

@@ -97,19 +97,21 @@ func TestReportCacheDisabled(t *testing.T) {
 }
 
 func TestCacheKeySensitivity(t *testing.T) {
-	base := CacheKey("SASS", "sm_70", "static", scout.Options{}, false)
-	if CacheKey("SASS", "sm_70", "static", scout.Options{}, false) != base {
+	base := CacheKey("SASS", "sm_70", "static", scout.Options{}, false, false)
+	if CacheKey("SASS", "sm_70", "static", scout.Options{}, false, false) != base {
 		t.Error("cache key not deterministic")
 	}
 	variants := []string{
-		CacheKey("SASS2", "sm_70", "static", scout.Options{}, false),
-		CacheKey("SASS", "sm_60", "static", scout.Options{}, false),
-		CacheKey("SASS", "sm_70", "workload=sgemm_naive scale=256", scout.Options{}, false),
-		CacheKey("SASS", "sm_70", "workload=sgemm_naive scale=320", scout.Options{}, false),
-		CacheKey("SASS", "sm_70", "static", scout.Options{DryRun: true}, false),
-		CacheKey("SASS", "sm_70", "static", scout.Options{SamplingPeriod: 512}, false),
-		CacheKey("SASS", "sm_70", "static", scout.Options{Sim: sim.Config{SampleSMs: 2}}, false),
-		CacheKey("SASS", "sm_70", "static", scout.Options{}, true),
+		CacheKey("SASS2", "sm_70", "static", scout.Options{}, false, false),
+		CacheKey("SASS", "sm_60", "static", scout.Options{}, false, false),
+		CacheKey("SASS", "sm_70", "workload=sgemm_naive scale=256", scout.Options{}, false, false),
+		CacheKey("SASS", "sm_70", "workload=sgemm_naive scale=320", scout.Options{}, false, false),
+		CacheKey("SASS", "sm_70", "static", scout.Options{DryRun: true}, false, false),
+		CacheKey("SASS", "sm_70", "static", scout.Options{SamplingPeriod: 512}, false, false),
+		CacheKey("SASS", "sm_70", "static", scout.Options{Sim: sim.Config{SampleSMs: 2}}, false, false),
+		CacheKey("SASS", "sm_70", "static", scout.Options{}, true, false),
+		CacheKey("SASS", "sm_70", "static", scout.Options{}, false, true),
+		CacheKey("SASS", "sm_70", "static", scout.Options{StallSlices: true}, false, false),
 	}
 	seen := map[string]bool{base: true}
 	for i, v := range variants {

@@ -175,6 +175,59 @@ func TestVerifyTimeoutShipsUnverified(t *testing.T) {
 	}
 }
 
+// TestSweepTimeoutShipsPartial mirrors the verify contract for the
+// sensitivity sweep: a delay fault makes the sweep's budget slice expire
+// mid-matrix; the skipped perturbations land in the ledger as timeout
+// degradations, the report still ships, and the job finishes StateDone.
+func TestSweepTimeoutShipsPartial(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	// timeout 2s → sweep slice 500ms; the armed delay overshoots it on
+	// the first matrix entry.
+	disarm, err := faultinject.Arm(faultinject.Fault{
+		Site: "advisor.sweep", Mode: faultinject.ModeDelay, Delay: 700 * time.Millisecond, Times: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+
+	resp, body := postAnalyze(t, ts, "",
+		`{"workload":"histogram_global","scale":4,"sensitivity":true,"timeout_ms":2000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", st.State, st.Error)
+	}
+	var rep struct {
+		Degradations []scout.Degradation `json:"degradations"`
+	}
+	if err := json.Unmarshal(st.Report, &rep); err != nil {
+		t.Fatalf("unmarshal report: %v", err)
+	}
+	timeouts := 0
+	for _, d := range rep.Degradations {
+		if d.Site == "advisor.sweep" && d.Kind == scout.DegradeTimeout {
+			timeouts++
+		}
+	}
+	if timeouts == 0 {
+		t.Fatalf("ledger %+v misses sweep timeout entries", rep.Degradations)
+	}
+	if st.Degradations != len(rep.Degradations) {
+		t.Errorf("status degradations = %d, ledger has %d", st.Degradations, len(rep.Degradations))
+	}
+	if n := metricValue(t, ts, `gpuscoutd_degraded_reports_total{kind="verify_timeout"}`); n != 1 {
+		t.Errorf(`degraded_reports_total{kind="verify_timeout"} = %g, want 1`, n)
+	}
+}
+
 // TestDetectorPanicDropsOnlyItsFindings: an injected panic in one
 // detector drops that detector's findings, keeps everyone else's, and
 // records exactly one panic ledger entry.

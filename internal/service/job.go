@@ -65,6 +65,15 @@ type AnalyzeRequest struct {
 	// and attaches the measured Verification blocks (workload analyses
 	// only; incompatible with dry_run).
 	Verify bool `json:"verify,omitempty"`
+	// Sensitivity re-simulates the workload under the hardware
+	// perturbation matrix, attaches dominant-resource sensitivity to the
+	// report and findings, and ranks findings by estimated speedup
+	// (workload analyses only; incompatible with dry_run).
+	Sensitivity bool `json:"sensitivity,omitempty"`
+	// StallSlices attaches a backward def-use producer chain to each
+	// finding's highest-stall PC (needs the dynamic pillars; ignored on
+	// dry runs).
+	StallSlices bool `json:"stall_slices,omitempty"`
 	// SamplingPeriod overrides the CUPTI sampling period in cycles.
 	SamplingPeriod float64 `json:"sampling_period,omitempty"`
 	// SampleSMs caps how many SMs the simulator models (0 = default).
@@ -104,6 +113,12 @@ func (r *AnalyzeRequest) validate() error {
 	}
 	if r.Verify && r.DryRun {
 		return fmt.Errorf("verify needs the dynamic pillars; incompatible with dry_run")
+	}
+	if r.Sensitivity && r.Workload == "" {
+		return fmt.Errorf("sensitivity needs a workload analysis (the sweep rebuilds the kernel per perturbed arch)")
+	}
+	if r.Sensitivity && r.DryRun {
+		return fmt.Errorf("sensitivity needs a baseline measurement; incompatible with dry_run")
 	}
 	if r.ArchCompare != "" && r.Workload == "" {
 		return fmt.Errorf("arch_compare needs a workload analysis (uploaded kernels are already lowered for one arch)")

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestSensitivityJob runs a sweep-enabled analysis through the daemon:
+// the report must carry the perturbation matrix and per-finding
+// sensitivity blocks, and it must not share a cache entry with the plain
+// analysis of the same workload.
+func TestSensitivityJob(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	req := `{"workload":"sgemm_naive","scale":64,"sample_sms":1,"sensitivity":true,"stall_slices":true}`
+	resp, body := postAnalyze(t, ts, "", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sensitivity analyze: status %d, body %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", st.State, st.Error)
+	}
+	for _, want := range []string{`"sensitivity"`, `"dominant"`, `"est_speedup"`, `"stall_slices"`} {
+		if !bytes.Contains(st.Report, []byte(want)) {
+			t.Errorf("report missing %s: %.200s", want, st.Report)
+		}
+	}
+
+	// The same analysis without the sweep is a different report and must
+	// occupy its own cache entry.
+	plain := `{"workload":"sgemm_naive","scale":64,"sample_sms":1}`
+	resp, body = postAnalyze(t, ts, "", plain)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plain analyze: status %d, body %s", resp.StatusCode, body)
+	}
+	var st2 Status
+	if err := json.Unmarshal(body, &st2); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if st2.CacheHit {
+		t.Error("plain analysis hit the swept report's cache entry")
+	}
+	if bytes.Contains(st2.Report, []byte(`"dominant"`)) {
+		t.Error("plain report carries sensitivity blocks")
+	}
+	if n := svc.cache.size(); n != 2 {
+		t.Errorf("cache size = %d, want 2 (swept and plain are distinct)", n)
+	}
+
+	// Re-submitting the swept request now hits the cache bit-identically.
+	resp, body = postAnalyze(t, ts, "", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat sensitivity analyze: status %d, body %s", resp.StatusCode, body)
+	}
+	var st3 Status
+	if err := json.Unmarshal(body, &st3); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !st3.CacheHit {
+		t.Error("repeated swept analysis missed the cache")
+	}
+	if !bytes.Equal(st.Report, st3.Report) {
+		t.Error("cached swept report differs from the original")
+	}
+}
+
+// TestSensitivityValidation: the sweep rebuilds the workload per
+// perturbed arch, so it needs a workload analysis with the dynamic
+// pillars.
+func TestSensitivityValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	for _, body := range []string{
+		`{"workload":"sgemm_naive","sensitivity":true,"dry_run":true}`,
+		`{"sass":"// bogus","sensitivity":true}`,
+	} {
+		resp, data := postAnalyze(t, ts, "", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", body, resp.StatusCode, data)
+		}
+	}
+}

@@ -232,9 +232,9 @@ func New(cfg Config) (*Service, error) {
 	s.batchDeduped = r.NewCounter("gpuscoutd_batch_deduped_total",
 		"Batch items that shared a fingerprint with an earlier item in the same batch and were folded into its job before enqueue.")
 	s.stageDuration = map[string]*Histogram{}
-	for _, stage := range []string{"build", "analyze", "verify", "encode"} {
+	for _, stage := range []string{"build", "analyze", "verify", "sweep", "encode"} {
 		s.stageDuration[stage] = r.NewHistogram("gpuscoutd_stage_seconds",
-			"Per-stage job latency: build (kernel resolution), analyze (pipeline), verify (counterfactual re-runs), encode (report JSON).",
+			"Per-stage job latency: build (kernel resolution), analyze (pipeline), verify (counterfactual re-runs), sweep (perturbation re-simulation), encode (report JSON).",
 			nil, Label{"stage", stage})
 	}
 	r.NewGaugeFunc("gpuscoutd_sim_workers_default",
@@ -495,7 +495,7 @@ func (s *Service) executeAttempt(j *Job) error {
 	if run != nil {
 		launch = fmt.Sprintf("workload=%s scale=%d", j.req.Workload, j.req.Scale)
 	}
-	key := CacheKey(sass.Print(k), arch.SM, launch, opts, j.req.Verify)
+	key := CacheKey(sass.Print(k), arch.SM, launch, opts, j.req.Verify, j.req.Sensitivity)
 	if data, ok := s.cache.get(key); ok {
 		s.cacheHits.Inc()
 		j.finish(s.countFinish(StateDone), data, "", true)
@@ -547,6 +547,26 @@ func (s *Service) executeAttempt(j *Job) error {
 		s.verifications[scout.VerdictConfirmed].Add(uint64(sum.Confirmed))
 		s.verifications[scout.VerdictNeutral].Add(uint64(sum.Neutral))
 		s.verifications[scout.VerdictRefuted].Add(uint64(sum.Refuted))
+	}
+
+	// Stage 3c: sensitivity sweep — re-simulate the workload under the
+	// hardware perturbation matrix, attach dominant-resource sensitivity
+	// to the report and findings, and re-rank findings by estimated
+	// speedup. Shares the verify budget slice (both are re-execution
+	// passes on top of the finished report); an expired slice ships the
+	// remaining perturbations as ledger entries.
+	if j.req.Sensitivity {
+		sctx, scancel := j.ctx, context.CancelFunc(func() {})
+		if !s.cfg.StageBudgets.Disabled && j.timeout > 0 {
+			sctx, scancel = context.WithTimeout(j.ctx, s.cfg.StageBudgets.SliceOf(scout.StageVerify, j.timeout))
+		}
+		t := time.Now()
+		_, err := advisor.Sweep(sctx, rep, j.req.Workload, j.req.Scale, arch, opts.Sim)
+		scancel()
+		s.stageDuration["sweep"].Observe(time.Since(t).Seconds())
+		if err != nil {
+			return fmt.Errorf("sensitivity sweep: %w", err)
+		}
 	}
 
 	// Degradation accounting: every shipped ledger entry is visible in
@@ -608,6 +628,7 @@ func (s *Service) executeArchCompare(j *Job) error {
 	opts := scout.Options{
 		DryRun:         req.DryRun,
 		SamplingPeriod: req.SamplingPeriod,
+		StallSlices:    req.StallSlices,
 		Sim:            sim.Config{SampleSMs: req.SampleSMs, Workers: simWorkers},
 		Budgets:        s.cfg.StageBudgets,
 	}
@@ -635,7 +656,7 @@ func (s *Service) executeArchCompare(j *Job) error {
 	// arch tag, so a comparison never shares an entry with the plain
 	// report of the same workload.
 	launch := fmt.Sprintf("workload=%s scale=%d archcmp=%s", req.Workload, req.Scale, otherArch.SM)
-	key := CacheKey(sass.Print(variants[0].w.Kernel), baseArch.SM, launch, opts, req.Verify)
+	key := CacheKey(sass.Print(variants[0].w.Kernel), baseArch.SM, launch, opts, req.Verify, req.Sensitivity)
 	if data, ok := s.cache.get(key); ok {
 		s.cacheHits.Inc()
 		j.finish(s.countFinish(StateDone), data, "", true)
@@ -683,6 +704,12 @@ func (s *Service) executeArchCompare(j *Job) error {
 			s.verifications[scout.VerdictConfirmed].Add(uint64(sum.Confirmed))
 			s.verifications[scout.VerdictNeutral].Add(uint64(sum.Neutral))
 			s.verifications[scout.VerdictRefuted].Add(uint64(sum.Refuted))
+		}
+		if req.Sensitivity {
+			if _, err := advisor.Sweep(j.ctx, rep, req.Workload, req.Scale, arch, opts.Sim); err != nil {
+				s.stageDuration["analyze"].Observe(time.Since(t1).Seconds())
+				return fmt.Errorf("sensitivity sweep on %s: %w", arch.SM, err)
+			}
 		}
 		reps[i] = rep
 	}
@@ -752,6 +779,7 @@ func (s *Service) resolveRequest(req AnalyzeRequest) (*sass.Kernel, gpu.Arch, sc
 	opts := scout.Options{
 		DryRun:         req.DryRun,
 		SamplingPeriod: req.SamplingPeriod,
+		StallSlices:    req.StallSlices,
 		Sim:            sim.Config{SampleSMs: req.SampleSMs, Workers: simWorkers},
 	}
 

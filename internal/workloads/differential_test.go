@@ -27,6 +27,56 @@ func differentialScale(name string) int {
 	return 0
 }
 
+// TestPerturbedParallelDifferential extends the differential guarantee to
+// the sensitivity sweep's perturbation matrix: a perturbed Arch is just
+// another architecture, so every (workload, perturbation, arch) triple
+// must also be bit-identical between Workers=1 and Workers=4 — otherwise
+// a sweep's dominant resource could depend on the daemon's parallelism.
+// One workload per family keeps the matrix affordable; the plain
+// differential test still covers every workload on the stock config.
+func TestPerturbedParallelDifferential(t *testing.T) {
+	reps := []string{
+		"mixbench_sp_naive", "jacobi_naive", "sgemm_naive",
+		"transpose_shared", "spill_pressure", "histogram_shared",
+		"reduction_atomic",
+	}
+	cfg := sim.Config{SampleSMs: 4}
+	for _, arch := range []gpu.Arch{gpu.V100(), gpu.A100()} {
+		for _, name := range reps {
+			for _, p := range gpu.Perturbations() {
+				p := p
+				t.Run(arch.SM+"/"+name+"/"+p.ID(), func(t *testing.T) {
+					pa := p.Apply(arch)
+					run := func(workers int) (*sim.Result, []byte) {
+						w, err := BuildArch(name, differentialScale(name), pa)
+						if err != nil {
+							t.Fatalf("BuildArch: %v", err)
+						}
+						dev := sim.NewDevice(pa)
+						c := cfg
+						c.Workers = workers
+						res, err := Execute(w, dev, c)
+						if err != nil {
+							t.Fatalf("Execute(Workers=%d): %v", workers, err)
+						}
+						return res, dev.MemorySnapshot()
+					}
+					seqRes, seqMem := run(1)
+					parRes, parMem := run(4)
+					seqRes.Host, parRes.Host = sim.HostStats{}, sim.HostStats{}
+					if !reflect.DeepEqual(seqRes, parRes) {
+						t.Errorf("Result differs between Workers=1 and Workers=4 under %s:\nseq: %+v\npar: %+v",
+							p.ID(), seqRes, parRes)
+					}
+					if !reflect.DeepEqual(seqMem, parMem) {
+						t.Errorf("device memory differs between Workers=1 and Workers=4 under %s", p.ID())
+					}
+				})
+			}
+		}
+	}
+}
+
 // TestParallelDifferential is the acceptance proof for parallel
 // simulation: every registered workload, run with Workers=1 and
 // Workers=4 on fresh devices, must produce a bit-identical Result
