@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos cluster-test serve bench-parallel fmt-check test-arch arch-report
+.PHONY: check build vet test race chaos cluster-test soak serve bench-parallel fmt-check test-arch arch-report
 
 check: build vet race
 
@@ -34,6 +34,16 @@ cluster-test:
 	$(GO) test -race -count=3 -timeout 15m ./internal/cluster/
 	$(GO) test -race -run 'Batch|Healthz|Churn|DurationRing|ConcurrentSubmissions' \
 		-timeout 10m ./internal/service/
+
+# Durable-state soak: SOAK_CYCLES crash/restart cycles over one
+# data-dir, rotating a kill through every persistence crash point
+# (journal append, tombstone, report rename, compaction rename) and
+# asserting the restarted daemon serves byte-identical reports from
+# disk (see DESIGN.md §14).
+SOAK_CYCLES ?= 12
+soak:
+	SOAK_CYCLES=$(SOAK_CYCLES) $(GO) test -race -tags faultinject \
+		-run 'TestSoakCrashRestartCycles' -count=1 -timeout 30m ./internal/service/
 
 # Run the analysis service locally.
 serve:

@@ -61,6 +61,12 @@ func main() {
 		quarAft  = flag.Int("quarantine-after", 2, "consecutive failures before an input is quarantined (negative disables)")
 		quarCool = flag.Duration("quarantine-cooldown", 30*time.Second, "how long a quarantined input stays rejected before a probe is admitted")
 
+		dataDir   = flag.String("data-dir", "", "crash-safe persistence directory: write-ahead job journal, persistent report store, durable breaker state (empty = in-memory only)")
+		fsyncPol  = flag.String("fsync", "always", "journal/report flush discipline: always (safe default), interval, or never")
+		fsyncIv   = flag.Duration("fsync-interval", 100*time.Millisecond, "journal flush period under -fsync interval")
+		storeMaxB = flag.Int64("store-max-bytes", 1<<30, "persistent report store byte bound; least-recently-used entries are evicted past it (negative = unlimited)")
+		cacheMaxB = flag.Int64("cache-max-bytes", 0, "in-memory report cache byte bound on top of -cache entries (0 = entries-only)")
+
 		replicasF = flag.String("replicas", "", "comma-separated replica base URLs — the cluster's static member list (worker and coordinator modes)")
 		selfF     = flag.String("self", "", "this worker's own advertised base URL, as it appears in -replicas (worker mode)")
 		vnodes    = flag.Int("vnodes", 0, "virtual nodes per replica on the consistent-hash ring (0 = default; must match across the cluster)")
@@ -106,6 +112,7 @@ func main() {
 		Workers:            *workers,
 		QueueDepth:         *queue,
 		CacheEntries:       *cache,
+		CacheMaxBytes:      *cacheMaxB,
 		DefaultTimeout:     *timeout,
 		MaxUploadBytes:     *maxBody,
 		MaxBatchItems:      *maxBatch,
@@ -117,6 +124,29 @@ func main() {
 		QuarantineAfter:    *quarAft,
 		QuarantineCooldown: *quarCool,
 		Mode:               *mode,
+	}
+
+	// Durable state: accepted jobs survive a crash (write-ahead journal),
+	// computed reports survive a restart (content-addressed disk store),
+	// and quarantined fingerprints stay quarantined. Worker replicas warm
+	// from disk before asking peers.
+	var st *gpuscout.Store
+	if *dataDir != "" {
+		policy, err := gpuscout.ParseFsyncPolicy(*fsyncPol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpuscoutd:", err)
+			os.Exit(2)
+		}
+		st, err = gpuscout.OpenStore(*dataDir, gpuscout.StoreOptions{
+			FsyncPolicy:   policy,
+			FsyncInterval: *fsyncIv,
+			MaxBytes:      *storeMaxB,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpuscoutd:", err)
+			os.Exit(1)
+		}
+		cfg.Store = st
 	}
 	if *mode == "worker" {
 		if len(replicas) == 0 || *selfF == "" {
@@ -135,7 +165,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gpuscoutd:", err)
 		os.Exit(1)
 	}
-	serve(*addr, *mode, svc.Handler(), svc.BeginShutdown, svc.Close)
+	closeCore := func() {
+		svc.Close()
+		if st != nil {
+			if err := st.Close(); err != nil {
+				log.Printf("gpuscoutd: close data dir: %v", err)
+			}
+		}
+	}
+	serve(*addr, *mode, svc.Handler(), svc.BeginShutdown, closeCore)
 }
 
 // runCoordinator brings up the cluster front-end: health polling first

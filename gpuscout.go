@@ -38,6 +38,7 @@ import (
 	"gpuscout/internal/scout"
 	"gpuscout/internal/service"
 	"gpuscout/internal/sim"
+	"gpuscout/internal/store"
 	"gpuscout/internal/workloads"
 )
 
@@ -368,6 +369,25 @@ func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
 // ServiceVersion identifies the gpuscoutd build (see /healthz and the
 // -version flag).
 func ServiceVersion() string { return service.Version }
+
+// Store is gpuscoutd's crash-safe persistence layer (-data-dir): the
+// write-ahead job journal, the persistent content-addressed report
+// store behind the in-memory cache, and durable quarantine-breaker
+// state. Wire one into ServiceConfig.Store; close it after the service.
+type Store = store.Store
+
+// StoreOptions tunes a data directory (fsync policy, report-store byte
+// bound, journal compaction threshold); the zero value selects safe
+// defaults (fsync always, 1 GiB).
+type StoreOptions = store.Options
+
+// OpenStore opens (or initializes) a data directory, replaying the job
+// journal and truncating any torn tail left by a crash.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) { return store.Open(dir, opts) }
+
+// ParseFsyncPolicy parses the -fsync flag value ("always", "interval",
+// "never").
+func ParseFsyncPolicy(s string) (store.FsyncPolicy, error) { return store.ParseFsyncPolicy(s) }
 
 // --- Clustered gpuscoutd ---
 

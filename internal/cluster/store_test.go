@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"gpuscout/internal/service"
+	"gpuscout/internal/store"
+)
+
+// TestWorkerWarmRejoinServesFromDisk: a worker replica with a data-dir
+// restarts on the same address and serves every report it had computed
+// straight from its persistent store — zero peer cache-fill lookups,
+// zero re-simulations. Disk warms before the ring is consulted, so a
+// rejoining worker does not stampede its peers.
+func TestWorkerWarmRejoinServesFromDisk(t *testing.T) {
+	l0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := []string{"http://" + l0.Addr().String(), "http://" + l1.Addr().String()}
+	dataDir := t.TempDir()
+
+	// newWorker builds one worker replica: peer cache-fill over the
+	// two-node ring, optionally counting every peer consultation.
+	newWorker := func(l net.Listener, self string, st *store.Store, asks *atomic.Int64) (*service.Service, *httptest.Server) {
+		t.Helper()
+		pc := NewPeerCache(urls, self, PeerCacheConfig{})
+		cfg := service.Config{Workers: 2, QueueDepth: 16, Mode: "worker", Store: st}
+		cfg.PeerFill = func(ctx context.Context, fp, key string) ([]byte, bool) {
+			if asks != nil {
+				asks.Add(1)
+			}
+			return pc.Fill(ctx, fp, key)
+		}
+		svc, err := service.New(cfg)
+		if err != nil {
+			t.Fatalf("worker %s: %v", self, err)
+		}
+		ts := httptest.NewUnstartedServer(svc.Handler())
+		ts.Listener.Close()
+		ts.Listener = l
+		ts.Start()
+		return svc, ts
+	}
+
+	// The peer replica stays up the whole test, cold: if the rejoined
+	// worker asked it for anything, the asks counter would tick and the
+	// misses would force re-simulation.
+	svc1, ts1 := newWorker(l1, urls[1], nil, nil)
+	t.Cleanup(func() { ts1.Close(); svc1.Close() })
+
+	// First life of worker 0: compute a spread of fingerprints, all
+	// written through to its data-dir.
+	st0, err := store.Open(dataDir, store.Options{FsyncPolicy: store.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc0, ts0 := newWorker(l0, urls[0], st0, nil)
+	const nKeys = 8
+	first := make([][]byte, nKeys)
+	for i := 0; i < nKeys; i++ {
+		resp, data := postJSON(t, urls[0]+"/v1/analyze", clusterKernelReq(i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("first life key %d: status %d, body %s", i, resp.StatusCode, data)
+		}
+		var stat service.Status
+		if err := json.Unmarshal(data, &stat); err != nil {
+			t.Fatal(err)
+		}
+		if stat.State != service.StateDone || len(stat.Report) == 0 {
+			t.Fatalf("first life key %d: state=%s", i, stat.State)
+		}
+		first[i] = stat.Report
+	}
+	ts0.Close()
+	svc0.Close()
+	if err := st0.Close(); err != nil {
+		t.Fatalf("close store: %v", err)
+	}
+
+	// Rejoin: same advertised address, same data-dir, cold memory, and
+	// a counting peer-fill hook.
+	l0b, err := net.Listen("tcp", l0.Addr().String())
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", l0.Addr(), err)
+	}
+	st0b, err := store.Open(dataDir, store.Options{FsyncPolicy: store.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st0b.Close() })
+	var peerAsks atomic.Int64
+	svc0b, ts0b := newWorker(l0b, urls[0], st0b, &peerAsks)
+	t.Cleanup(func() { ts0b.Close(); svc0b.Close() })
+
+	for i := 0; i < nKeys; i++ {
+		resp, data := postJSON(t, urls[0]+"/v1/analyze", clusterKernelReq(i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("rejoin key %d: status %d, body %s", i, resp.StatusCode, data)
+		}
+		var stat service.Status
+		if err := json.Unmarshal(data, &stat); err != nil {
+			t.Fatal(err)
+		}
+		if stat.State != service.StateDone || !stat.CacheHit {
+			t.Fatalf("rejoin key %d: state=%s cacheHit=%v, want a store hit", i, stat.State, stat.CacheHit)
+		}
+		if !bytes.Equal(first[i], stat.Report) {
+			t.Errorf("rejoin key %d: report differs from the first life's bytes", i)
+		}
+	}
+	if asks := peerAsks.Load(); asks != 0 {
+		t.Errorf("rejoined worker consulted peers %d times, want 0 — disk must warm before the ring", asks)
+	}
+	if hits := scrapeMetric(t, urls[0], "gpuscoutd_store_hits_total"); hits != nKeys {
+		t.Errorf("store_hits_total = %g, want %d", hits, nKeys)
+	}
+	if misses := scrapeMetric(t, urls[0], "gpuscoutd_cache_misses_total"); misses != 0 {
+		t.Errorf("rejoined worker re-simulated: %g pipeline misses", misses)
+	}
+}

@@ -4,7 +4,11 @@
 // Pipeline stages declare *sites* — stable, dot-separated names such as
 // "sim.launch", "scout.detector.bank_conflicts", "advisor.verify" or
 // "cubin.decode" — by calling Register at init time and Hit on the hot
-// path. A disarmed site costs one atomic load; tests (or the daemon's
+// path. The persistence layer registers crash points the same way
+// ("store.journal.append", "store.journal.tombstone",
+// "store.report.rename", "store.compact.rename"): firing one mid-write
+// leaves genuinely torn bytes on disk and fail-stops the store, which
+// is how the restart chaos suites simulate kill -9 in-process. A disarmed site costs one atomic load; tests (or the daemon's
 // debug endpoint) Arm a site to panic, delay past a stage budget, or
 // return an error, optionally only on the Nth hit and only a bounded
 // number of times. Everything is deterministic: no randomness, no

@@ -3,6 +3,7 @@ package service
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -17,6 +18,27 @@ import (
 // open, and re-running a poison input would only burn another worker.
 // The HTTP layer maps it to 422 with the prior failure message.
 var ErrQuarantined = errors.New("service: input quarantined")
+
+// QuarantineError is the typed rejection a quarantined submission gets:
+// it unwraps to ErrQuarantined and carries how long the client should
+// wait before the breaker will admit (another) probe. The HTTP layer
+// turns RetryAfter into a Retry-After header on the 422.
+type QuarantineError struct {
+	// Failures is the consecutive-failure count that opened the breaker.
+	Failures int
+	// LastErr is the most recent failure message for this fingerprint.
+	LastErr string
+	// RetryAfter is the suggested wait before resubmitting.
+	RetryAfter time.Duration
+}
+
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("%v: %d consecutive failures, last: %s (retry after cool-down)",
+		ErrQuarantined, e.Failures, e.LastErr)
+}
+
+// Unwrap keeps errors.Is(err, ErrQuarantined) working.
+func (e *QuarantineError) Unwrap() error { return ErrQuarantined }
 
 // Fingerprint identifies the analysis input: everything that determines
 // what the pipeline will execute, nothing that merely tunes how
@@ -48,14 +70,20 @@ type breakerEntry struct {
 	failures int
 	lastErr  string
 	openedAt time.Time
+	probing  bool // a half-open probe is in flight; admit no others
 }
 
 func newBreaker(after int, cooldown time.Duration) *breaker {
 	return &breaker{after: after, cooldown: cooldown, entries: map[string]*breakerEntry{}}
 }
 
-// check admits or rejects a submission for fp. A rejection error wraps
-// ErrQuarantined and carries the prior failure.
+// check admits or rejects a submission for fp. A rejection returns a
+// *QuarantineError (wrapping ErrQuarantined) carrying the prior failure
+// and a Retry-After hint. After the cool-down, exactly one concurrent
+// submission is admitted as the half-open probe — the probing flag holds
+// the slot until the probe's verdict (recordSuccess / recordFailure) or
+// its interruption (release) — so a thundering herd against a poison
+// fingerprint cannot burn more than one worker.
 func (b *breaker) check(fp string) error {
 	if b.after <= 0 {
 		return nil
@@ -66,17 +94,22 @@ func (b *breaker) check(fp string) error {
 	if !ok || e.failures < b.after {
 		return nil
 	}
-	if time.Since(e.openedAt) >= b.cooldown {
-		// Half-open: admit one probe. Drop back to just below the
-		// threshold so another failure re-opens immediately.
-		e.failures = b.after - 1
+	if !e.probing && time.Since(e.openedAt) >= b.cooldown {
+		// Half-open: this caller is the one probe.
+		e.probing = true
 		return nil
 	}
-	return fmt.Errorf("%w: %d consecutive failures, last: %s (retry after cool-down)",
-		ErrQuarantined, e.failures, e.lastErr)
+	retry := b.cooldown - time.Since(e.openedAt)
+	if retry < time.Second {
+		// Cool-down elapsed but a probe is in flight: its verdict lands
+		// within one job, so "come back shortly".
+		retry = time.Second
+	}
+	return &QuarantineError{Failures: e.failures, LastErr: e.lastErr, RetryAfter: retry}
 }
 
-// recordFailure counts one failed execution of fp.
+// recordFailure counts one failed execution of fp. A failed half-open
+// probe re-opens the breaker for a full cool-down.
 func (b *breaker) recordFailure(fp, errMsg string) {
 	if b.after <= 0 {
 		return
@@ -88,6 +121,7 @@ func (b *breaker) recordFailure(fp, errMsg string) {
 		e = &breakerEntry{}
 		b.entries[fp] = e
 	}
+	e.probing = false
 	e.failures++
 	e.lastErr = errMsg
 	if e.failures >= b.after {
@@ -95,13 +129,30 @@ func (b *breaker) recordFailure(fp, errMsg string) {
 	}
 }
 
-// recordSuccess clears fp's failure history.
-func (b *breaker) recordSuccess(fp string) {
+// recordSuccess clears fp's failure history, reporting whether an entry
+// existed (so callers persist breaker state only when it changed).
+func (b *breaker) recordSuccess(fp string) bool {
+	if b.after <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	_, had := b.entries[fp]
+	delete(b.entries, fp)
+	b.mu.Unlock()
+	return had
+}
+
+// release frees fp's half-open probe slot without a verdict — the probe
+// job was cancelled or timed out before it could prove anything. Without
+// this, an interrupted probe would wedge the breaker open forever.
+func (b *breaker) release(fp string) {
 	if b.after <= 0 {
 		return
 	}
 	b.mu.Lock()
-	delete(b.entries, fp)
+	if e, ok := b.entries[fp]; ok {
+		e.probing = false
+	}
 	b.mu.Unlock()
 }
 
@@ -116,6 +167,43 @@ func (b *breaker) openCount() int {
 		}
 	}
 	return n
+}
+
+// breakerEntryJSON is the persisted wire form of one breaker entry. The
+// probing flag is deliberately absent: a restart killed any in-flight
+// probe, so the reloaded entry may admit a fresh one.
+type breakerEntryJSON struct {
+	Failures int       `json:"failures"`
+	LastErr  string    `json:"last_err,omitempty"`
+	OpenedAt time.Time `json:"opened_at,omitempty"`
+}
+
+// exportJSON snapshots the breaker's entries for persistence, so a
+// restart cannot un-quarantine a poison fingerprint.
+func (b *breaker) exportJSON() []byte {
+	b.mu.Lock()
+	out := make(map[string]breakerEntryJSON, len(b.entries))
+	for fp, e := range b.entries {
+		out[fp] = breakerEntryJSON{Failures: e.failures, LastErr: e.lastErr, OpenedAt: e.openedAt}
+	}
+	b.mu.Unlock()
+	data, _ := json.Marshal(out)
+	return data
+}
+
+// importJSON restores entries exported by exportJSON, replacing any
+// in-memory state for the same fingerprints. Unparseable state is
+// ignored — the breaker starts cold rather than poisoning startup.
+func (b *breaker) importJSON(data []byte) {
+	var in map[string]breakerEntryJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return
+	}
+	b.mu.Lock()
+	for fp, e := range in {
+		b.entries[fp] = &breakerEntry{failures: e.Failures, lastErr: e.LastErr, openedAt: e.OpenedAt}
+	}
+	b.mu.Unlock()
 }
 
 // backoffDelay is the capped-exponential-with-jitter retry schedule:

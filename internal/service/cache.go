@@ -12,13 +12,18 @@ import (
 )
 
 // reportCache is a thread-safe LRU of marshaled report JSON, keyed by
-// CacheKey. Entries are immutable byte slices, so a cached report can be
-// handed to concurrent readers without copying.
+// CacheKey, bounded by entry count and — when maxBytes > 0 — by total
+// payload bytes, so a cache of a few huge sweep reports cannot dwarf the
+// heap the way a pure entry cap would allow. Entries are immutable byte
+// slices, so a cached report can be handed to concurrent readers without
+// copying.
 type reportCache struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64
+	bytes    int64      // sum of cached payload lengths
+	ll       *list.List // front = most recently used
+	m        map[string]*list.Element
 }
 
 type cacheEntry struct {
@@ -26,8 +31,8 @@ type cacheEntry struct {
 	data []byte
 }
 
-func newReportCache(capacity int) *reportCache {
-	return &reportCache{cap: capacity, ll: list.New(), m: map[string]*list.Element{}}
+func newReportCache(capacity int, maxBytes int64) *reportCache {
+	return &reportCache{cap: capacity, maxBytes: maxBytes, ll: list.New(), m: map[string]*list.Element{}}
 }
 
 // get returns the cached report for key, refreshing its recency.
@@ -42,24 +47,37 @@ func (c *reportCache) get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).data, true
 }
 
-// put stores data under key, evicting the least recently used entry when
-// over capacity. A zero or negative capacity disables the cache.
+// put stores data under key, evicting least recently used entries while
+// over the entry cap or the byte bound. A zero or negative capacity
+// disables the cache; an entry larger than the whole byte bound is not
+// cached at all (it would evict everything and still not fit).
 func (c *reportCache) put(key string, data []byte) {
 	if c.cap <= 0 {
+		return
+	}
+	if c.maxBytes > 0 && int64(len(data)) > c.maxBytes {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
-		el.Value.(*cacheEntry).data = data
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(data)) - int64(len(e.data))
+		e.data = data
 		c.ll.MoveToFront(el)
-		return
+	} else {
+		c.m[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+		c.bytes += int64(len(data))
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
-	for c.ll.Len() > c.cap {
+	for c.ll.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
 		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*cacheEntry)
 		c.ll.Remove(oldest)
-		delete(c.m, oldest.Value.(*cacheEntry).key)
+		delete(c.m, e.key)
+		c.bytes -= int64(len(e.data))
 	}
 }
 
@@ -68,6 +86,13 @@ func (c *reportCache) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// bytesUsed returns the total cached payload bytes.
+func (c *reportCache) bytesUsed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // CacheKey is the content address of one analysis: the SHA-256 of the

@@ -14,7 +14,7 @@ import (
 )
 
 func TestReportCacheLRU(t *testing.T) {
-	c := newReportCache(2)
+	c := newReportCache(2, 0)
 	c.put("a", []byte("A"))
 	c.put("b", []byte("B"))
 	if _, ok := c.get("a"); !ok {
@@ -53,7 +53,7 @@ func TestReportCacheConcurrentChurn(t *testing.T) {
 		goroutines = 8
 		ops        = 4000
 	)
-	c := newReportCache(capacity)
+	c := newReportCache(capacity, 0)
 	payload := func(k int) []byte { return []byte(fmt.Sprintf("report-%03d-payload", k)) }
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
@@ -89,7 +89,7 @@ func TestReportCacheConcurrentChurn(t *testing.T) {
 }
 
 func TestReportCacheDisabled(t *testing.T) {
-	c := newReportCache(-1)
+	c := newReportCache(-1, 0)
 	c.put("a", []byte("A"))
 	if _, ok := c.get("a"); ok {
 		t.Error("disabled cache stored an entry")

@@ -143,6 +143,7 @@ type Job struct {
 	done        chan struct{}
 	fingerprint string        // quarantine identity of the input
 	timeout     time.Duration // the job's whole deadline budget
+	onFinish    func(State)   // set by the service to journal the tombstone
 
 	mu           sync.Mutex
 	state        State
@@ -214,8 +215,16 @@ func (j *Job) finish(state State, report []byte, errMsg string, cacheHit bool) {
 	j.errMsg = errMsg
 	j.cacheHit = cacheHit
 	j.finished = time.Now()
+	hook := j.onFinish
 	j.mu.Unlock()
 	j.cancel() // release the timeout timer
+	if hook != nil {
+		// Journal the terminal state (the job's tombstone) before Done is
+		// observable: once a waiter sees the job finished, a restart will
+		// not resurrect it. A failed append is tolerable — the job just
+		// re-runs after a crash and converges through the report store.
+		hook(state)
+	}
 	close(j.done)
 }
 

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"time"
 
 	"gpuscout/internal/workloads"
 )
@@ -75,12 +76,24 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrDurability):
+		// ErrDurability: the write-ahead journal could not record the
+		// job, so acknowledging it would risk silent loss — the client
+		// should retry against a healthy replica.
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case errors.Is(err, ErrQuarantined):
 		// The input's circuit breaker is open: answer immediately with
-		// the prior failure instead of occupying a worker.
+		// the prior failure instead of occupying a worker. The typed
+		// error says when the breaker will admit a probe.
+		var qe *QuarantineError
+		if errors.As(err, &qe) && qe.RetryAfter > 0 {
+			secs := int(qe.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	case err != nil:
@@ -149,7 +162,15 @@ func (s *Service) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 // namespaced /internal because it exposes cache internals keyed by
 // CacheKey, not a public API surface.
 func (s *Service) handleCacheGet(w http.ResponseWriter, r *http.Request) {
-	data, ok := s.cache.get(r.PathValue("key"))
+	key := r.PathValue("key")
+	data, ok := s.cache.get(key)
+	if !ok {
+		// Disk fallthrough: a replica that restarted since computing the
+		// report can still serve its peers from the persistent store.
+		if data, ok = s.storeGet(key); ok {
+			s.cache.put(key, data)
+		}
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, "cache miss")
 		return
@@ -164,7 +185,7 @@ func (s *Service) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 // this; the body carries build and role info so operators and cluster
 // membership checks can tell replicas apart.
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"version":        Version,
 		"go":             runtime.Version(),
@@ -172,8 +193,31 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"workers":        s.cfg.Workers,
 		"queue_depth":    s.pool.depth(),
 		"cache_entries":  s.cache.size(),
+		"cache_bytes":    s.cache.bytesUsed(),
 		"uptime_seconds": s.Uptime().Seconds(),
-	})
+	}
+	if store := s.cfg.Store; store != nil {
+		st := store.Stats()
+		dd := map[string]any{
+			"path":                st.Path,
+			"report_entries":      st.ReportEntries,
+			"report_bytes":        st.ReportBytes,
+			"journal_records":     st.JournalRecords,
+			"journal_live_jobs":   st.JournalLiveJobs,
+			"journal_lag":         st.JournalLag,
+			"journal_bytes":       st.JournalBytes,
+			"compactions":         st.Compactions,
+			"corrupt_quarantined": st.CorruptQuarantined,
+			"evicted":             st.Evicted,
+			"recovered_torn":      st.RecoveredTorn,
+		}
+		if !st.LastCompaction.IsZero() {
+			dd["last_compaction"] = st.LastCompaction.UTC().Format(time.RFC3339)
+		}
+		body["data_dir"] = dd
+		body["recovered_jobs"] = s.RecoveredJobs()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleReadyz is the readiness probe: 503 while the queue is saturated

@@ -13,10 +13,13 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,8 +31,14 @@ import (
 	"gpuscout/internal/sass"
 	"gpuscout/internal/scout"
 	"gpuscout/internal/sim"
+	"gpuscout/internal/store"
 	"gpuscout/internal/workloads"
 )
+
+// ErrDurability is returned by Submit when the write-ahead journal
+// cannot record the job: the service refuses to acknowledge work it
+// could lose across a crash. The HTTP layer maps it to 503.
+var ErrDurability = errors.New("service: journal write failed; job not accepted")
 
 // Config tunes the service. The zero value selects sane defaults.
 type Config struct {
@@ -87,6 +96,17 @@ type Config struct {
 	// local simulation — peer fill is an optimization, never a
 	// dependency.
 	PeerFill func(ctx context.Context, fingerprint, cacheKey string) ([]byte, bool)
+	// Store, when set, is the crash-safe persistence layer under
+	// -data-dir: accepted jobs are journaled before they are
+	// acknowledged (and re-enqueued after a restart), clean reports are
+	// written through to the content-addressed disk store (probed
+	// between the memory cache and peer fill), and quarantine-breaker
+	// state survives restarts. Nil runs the service purely in memory.
+	// The caller owns the store's lifecycle and closes it after Close.
+	Store *store.Store
+	// CacheMaxBytes additionally bounds the in-memory report cache by
+	// total payload bytes (0 = entries-only bound).
+	CacheMaxBytes int64
 	// SimWorkers is the default per-launch simulation parallelism
 	// (sim.Config.Workers) for jobs that don't set sim_workers. The
 	// default is 1: the pool already runs Workers jobs concurrently, so
@@ -147,16 +167,18 @@ func (c *Config) applyDefaults() {
 // Service is the gpuscoutd core, independent of HTTP: Submit feeds the
 // queue, Handler (server.go) wraps it for the wire.
 type Service struct {
-	cfg       Config
-	pool      *pool
-	cache     *reportCache
-	reg       *Registry
-	start     time.Time
-	breaker   *breaker
-	durations *durationRing
-	draining  atomic.Bool // readiness flipped off before shutdown
+	cfg        Config
+	pool       *pool
+	cache      *reportCache
+	reg        *Registry
+	start      time.Time
+	breaker    *breaker
+	durations  *durationRing
+	draining   atomic.Bool // readiness flipped off before shutdown
+	recovering atomic.Bool // journal replay re-enqueueing jobs; /readyz 503
 
-	nextID atomic.Uint64
+	nextID         atomic.Uint64
+	recoveredCount atomic.Uint64 // jobs re-enqueued from the journal at startup
 
 	jobsMu sync.Mutex
 	jobs   map[string]*Job
@@ -181,6 +203,9 @@ type Service struct {
 	stagePanics   map[string]*Counter
 	retries       *Counter
 	quarantined   *Counter
+	storeHits     *Counter
+	storeMisses   *Counter
+	recoveredJobs *Counter
 
 	degradedMu sync.Mutex
 	degraded   map[string]*Counter // gpuscoutd_degraded_reports_total, by kind
@@ -191,13 +216,29 @@ func New(cfg Config) (*Service, error) {
 	cfg.applyDefaults()
 	s := &Service{
 		cfg:       cfg,
-		cache:     newReportCache(cfg.CacheEntries),
+		cache:     newReportCache(cfg.CacheEntries, cfg.CacheMaxBytes),
 		reg:       NewRegistry(),
 		start:     time.Now(),
 		jobs:      map[string]*Job{},
 		breaker:   newBreaker(cfg.QuarantineAfter, cfg.QuarantineCooldown),
 		durations: newDurationRing(32),
 		degraded:  map[string]*Counter{},
+	}
+	// Durable state first: reload the breaker (a restart must not
+	// un-quarantine a poison input) and resume the job-ID sequence past
+	// every handle the journal has ever recorded, so recovered jobs keep
+	// their IDs and new jobs cannot collide with them.
+	var pendingJobs []store.PendingJob
+	if st := cfg.Store; st != nil {
+		if data, ok := st.LoadBreaker(); ok {
+			s.breaker.importJSON(data)
+		}
+		if last := st.LastJobID(); strings.HasPrefix(last, "j") {
+			if n, err := strconv.ParseUint(last[1:], 10, 64); err == nil {
+				s.nextID.Store(n)
+			}
+		}
+		pendingJobs = st.Pending()
 	}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.execute)
 
@@ -219,6 +260,32 @@ func New(cfg Config) (*Service, error) {
 	r.NewGaugeFunc("gpuscoutd_cache_entries",
 		"Reports currently cached.",
 		func() float64 { return float64(s.cache.size()) })
+	r.NewGaugeFunc("gpuscoutd_cache_bytes",
+		"Total payload bytes held by the in-memory report cache.",
+		func() float64 { return float64(s.cache.bytesUsed()) })
+	s.storeHits = r.NewCounter("gpuscoutd_store_hits_total",
+		"Memory-cache misses served whole from the persistent report store (warm restarts, rebalanced keys).")
+	s.storeMisses = r.NewCounter("gpuscoutd_store_misses_total",
+		"Memory-cache misses that also missed the persistent report store.")
+	s.recoveredJobs = r.NewCounter("gpuscoutd_recovered_jobs_total",
+		"Journaled jobs re-enqueued by startup recovery.")
+	if st := cfg.Store; st != nil {
+		r.NewGaugeFunc("gpuscoutd_store_report_bytes",
+			"Bytes held by the persistent report store.",
+			func() float64 { return float64(st.Stats().ReportBytes) })
+		r.NewGaugeFunc("gpuscoutd_store_report_entries",
+			"Reports held by the persistent report store.",
+			func() float64 { return float64(st.Stats().ReportEntries) })
+		r.NewGaugeFunc("gpuscoutd_store_journal_records",
+			"Frames in the write-ahead job journal.",
+			func() float64 { return float64(st.Stats().JournalRecords) })
+		r.NewGaugeFunc("gpuscoutd_store_journal_lag",
+			"Journal records beyond the live job set — the garbage the next compaction reclaims.",
+			func() float64 { return float64(st.Stats().JournalLag) })
+		r.NewGaugeFunc("gpuscoutd_store_corrupt_quarantined",
+			"Report entries quarantined to corrupt/ since the store opened.",
+			func() float64 { return float64(st.Stats().CorruptQuarantined) })
+	}
 	s.peerFillHits = r.NewCounter("gpuscoutd_peer_fill_hits_total",
 		"Local cache misses served by a peer replica's cache (two-tier fill).")
 	s.peerFillMiss = r.NewCounter("gpuscoutd_peer_fill_misses_total",
@@ -272,8 +339,98 @@ func New(cfg Config) (*Service, error) {
 	} {
 		s.degradedCounter(kind)
 	}
+	// Startup recovery: re-enqueue every journaled job that never reached
+	// a tombstone. /readyz stays 503 until the replay has drained into
+	// the queue; jobs whose reports already landed on disk resolve as
+	// instant store hits instead of re-simulating.
+	if len(pendingJobs) > 0 {
+		s.recovering.Store(true)
+		go s.recoverJobs(pendingJobs)
+	}
 	return s, nil
 }
+
+// recoverJobs replays the journal's pending set through the normal
+// execution path. Each job keeps its original ID (clients may still
+// hold the handle), is re-validated (the journal could have been
+// written by an older build), and respects the reloaded quarantine
+// breaker — a poison input does not get a free re-run just because the
+// daemon restarted mid-job.
+func (s *Service) recoverJobs(pending []store.PendingJob) {
+	defer s.recovering.Store(false)
+	st := s.cfg.Store
+	for _, p := range pending {
+		var req AnalyzeRequest
+		if err := json.Unmarshal(p.Req, &req); err != nil {
+			st.AppendTombstone(p.ID, string(StateFailed))
+			continue
+		}
+		if err := req.validate(); err != nil {
+			st.AppendTombstone(p.ID, string(StateFailed))
+			continue
+		}
+		if err := s.breaker.check(req.Fingerprint()); err != nil {
+			s.quarantined.Inc()
+			st.AppendTombstone(p.ID, string(StateCancelled))
+			continue
+		}
+		timeout := s.cfg.DefaultTimeout
+		if req.TimeoutMS > 0 {
+			timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		j := newJob(p.ID, req, ctx, cancel)
+		j.fingerprint = req.Fingerprint()
+		j.timeout = timeout
+		j.onFinish = s.tombstoneHook(p.ID)
+
+		s.jobsMu.Lock()
+		s.jobs[p.ID] = j
+		s.order = append(s.order, p.ID)
+		s.pruneLocked()
+		s.jobsMu.Unlock()
+
+		// The queue may be smaller than the recovery backlog: wait for
+		// drain rather than dropping acknowledged work.
+		for {
+			err := s.pool.trySubmit(j)
+			if err == nil {
+				s.recoveredJobs.Inc()
+				s.recoveredCount.Add(1)
+				break
+			}
+			if errors.Is(err, ErrClosed) {
+				cancel()
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}
+
+// tombstoneHook journals a job's terminal state; attached to every job
+// when a store is configured.
+func (s *Service) tombstoneHook(id string) func(State) {
+	st := s.cfg.Store
+	if st == nil {
+		return nil
+	}
+	return func(terminal State) { st.AppendTombstone(id, string(terminal)) }
+}
+
+// persistBreaker writes the breaker's current state through the store,
+// outside the breaker's lock. Failures are swallowed: breaker
+// persistence is hardening, not a correctness dependency.
+func (s *Service) persistBreaker() {
+	if s.cfg.Store == nil {
+		return
+	}
+	_ = s.cfg.Store.SaveBreaker(s.breaker.exportJSON())
+}
+
+// RecoveredJobs reports how many journaled jobs startup recovery has
+// re-enqueued (surfaced by /healthz).
+func (s *Service) RecoveredJobs() uint64 { return s.recoveredCount.Load() }
 
 // degradedCounter finds or registers the degraded-report counter for one
 // "<stage>_<kind>" label value.
@@ -318,6 +475,9 @@ func (s *Service) BeginShutdown() { s.draining.Store(true) }
 func (s *Service) Ready() (bool, string) {
 	if s.draining.Load() {
 		return false, "shutting down"
+	}
+	if s.recovering.Load() {
+		return false, "recovering: replaying job journal"
 	}
 	if d := s.pool.depth(); d >= s.cfg.QueueDepth {
 		return false, fmt.Sprintf("queue saturated (%d/%d)", d, s.cfg.QueueDepth)
@@ -368,6 +528,7 @@ func (s *Service) Submit(req AnalyzeRequest) (*Job, error) {
 	j := newJob(id, req, ctx, cancel)
 	j.fingerprint = fp
 	j.timeout = timeout
+	j.onFinish = s.tombstoneHook(id)
 
 	s.jobsMu.Lock()
 	s.jobs[id] = j
@@ -375,7 +536,7 @@ func (s *Service) Submit(req AnalyzeRequest) (*Job, error) {
 	s.pruneLocked()
 	s.jobsMu.Unlock()
 
-	if err := s.pool.trySubmit(j); err != nil {
+	rollback := func() {
 		cancel()
 		s.jobsMu.Lock()
 		delete(s.jobs, id)
@@ -383,6 +544,31 @@ func (s *Service) Submit(req AnalyzeRequest) (*Job, error) {
 			s.order = s.order[:n-1]
 		}
 		s.jobsMu.Unlock()
+	}
+
+	// Write-ahead: the accept record must be on disk before the client
+	// hears the job ID. A journal that cannot take the record means the
+	// acknowledgement would be a lie — refuse the job instead.
+	if st := s.cfg.Store; st != nil {
+		reqJSON, err := json.Marshal(req)
+		if err == nil {
+			err = st.AppendAccept(id, fp, reqJSON)
+		}
+		if err != nil {
+			rollback()
+			return nil, fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+	}
+
+	if err := s.pool.trySubmit(j); err != nil {
+		rollback()
+		if st := s.cfg.Store; st != nil {
+			// The accept is journaled but the job was shed: tombstone it
+			// so a restart does not resurrect a job the client was told
+			// to retry. Best-effort — a lost tombstone only costs one
+			// redundant re-run.
+			st.AppendTombstone(id, string(StateCancelled))
+		}
 		return nil, err
 	}
 	return j, nil
@@ -422,6 +608,7 @@ func (s *Service) pruneLocked() {
 // backoff + jitter, and feeding the quarantine breaker on final failure.
 func (s *Service) execute(j *Job) {
 	if err := j.ctx.Err(); err != nil {
+		s.breaker.release(j.fingerprint)
 		j.finish(s.countFinish(j.interrupted()), nil, "aborted before start: "+err.Error(), false)
 		return
 	}
@@ -435,12 +622,15 @@ func (s *Service) execute(j *Job) {
 		j.setAttempts(attempt)
 		err := s.executeAttempt(j)
 		if err == nil {
-			s.breaker.recordSuccess(j.fingerprint)
+			if s.breaker.recordSuccess(j.fingerprint) {
+				s.persistBreaker()
+			}
 			return
 		}
 		lastErr = err
 		s.notePanic(err)
 		if j.ctx.Err() != nil {
+			s.breaker.release(j.fingerprint)
 			j.finish(s.countFinish(j.interrupted()), nil, err.Error(), false)
 			return
 		}
@@ -451,11 +641,13 @@ func (s *Service) execute(j *Job) {
 		select {
 		case <-time.After(backoffDelay(s.cfg.RetryBackoff, 2*time.Second, attempt)):
 		case <-j.ctx.Done():
+			s.breaker.release(j.fingerprint)
 			j.finish(s.countFinish(j.interrupted()), nil, lastErr.Error(), false)
 			return
 		}
 	}
 	s.breaker.recordFailure(j.fingerprint, lastErr.Error())
+	s.persistBreaker()
 	j.finish(s.countFinish(StateFailed), nil, lastErr.Error(), false)
 }
 
@@ -468,6 +660,34 @@ func (s *Service) notePanic(err error) {
 		if c, ok := s.stagePanics[se.Stage]; ok {
 			c.Inc()
 		}
+	}
+}
+
+// storeGet probes the persistent report store after a memory-cache
+// miss; a hit is promoted into the memory tier by the caller. Absent a
+// store it is a silent miss (no metrics tick — there is no disk tier to
+// account for).
+func (s *Service) storeGet(key string) ([]byte, bool) {
+	st := s.cfg.Store
+	if st == nil {
+		return nil, false
+	}
+	data, ok := st.GetReport(key)
+	if ok {
+		s.storeHits.Inc()
+	} else {
+		s.storeMisses.Inc()
+	}
+	return data, ok
+}
+
+// storePut writes a clean report through to the persistent store.
+// Failures are swallowed: the report was already computed and is being
+// returned to the client; losing the disk copy only costs a future
+// recompute.
+func (s *Service) storePut(key, fingerprint string, data []byte) {
+	if st := s.cfg.Store; st != nil {
+		_ = st.PutReport(key, fingerprint, data)
 	}
 }
 
@@ -502,6 +722,16 @@ func (s *Service) executeAttempt(j *Job) error {
 		return nil
 	}
 
+	// Stage 2a: persistent-store probe — a warm restart (or a replica
+	// rejoining the ring) finds previously computed reports on disk and
+	// serves them without re-simulating; the hit is promoted into the
+	// memory tier.
+	if data, ok := s.storeGet(key); ok {
+		s.cache.put(key, data)
+		j.finish(s.countFinish(StateDone), data, "", true)
+		return nil
+	}
+
 	// Stage 2b: peer cache-fill — in a cluster, a key this replica has
 	// never seen may already be warm in the ring owner's cache (the key
 	// was rebalanced here, or we are taking failover traffic). One
@@ -511,6 +741,7 @@ func (s *Service) executeAttempt(j *Job) error {
 		if data, ok := s.cfg.PeerFill(j.ctx, j.fingerprint, key); ok && len(data) > 0 {
 			s.peerFillHits.Inc()
 			s.cache.put(key, data)
+			s.storePut(key, j.fingerprint, data)
 			j.finish(s.countFinish(StateDone), data, "", true)
 			return nil
 		}
@@ -599,6 +830,7 @@ func (s *Service) executeAttempt(j *Job) error {
 	}
 	if len(rep.Degradations) == 0 {
 		s.cache.put(key, data)
+		s.storePut(key, j.fingerprint, data)
 	}
 	j.finish(s.countFinish(StateDone), data, "", false)
 	return nil
@@ -662,10 +894,16 @@ func (s *Service) executeArchCompare(j *Job) error {
 		j.finish(s.countFinish(StateDone), data, "", true)
 		return nil
 	}
+	if data, ok := s.storeGet(key); ok {
+		s.cache.put(key, data)
+		j.finish(s.countFinish(StateDone), data, "", true)
+		return nil
+	}
 	if s.cfg.PeerFill != nil {
 		if data, ok := s.cfg.PeerFill(j.ctx, j.fingerprint, key); ok && len(data) > 0 {
 			s.peerFillHits.Inc()
 			s.cache.put(key, data)
+			s.storePut(key, j.fingerprint, data)
 			j.finish(s.countFinish(StateDone), data, "", true)
 			return nil
 		}
@@ -728,6 +966,7 @@ func (s *Service) executeArchCompare(j *Job) error {
 		j.setDegradations(n)
 	} else {
 		s.cache.put(key, data)
+		s.storePut(key, j.fingerprint, data)
 	}
 	j.finish(s.countFinish(StateDone), data, "", false)
 	return nil
